@@ -1,0 +1,56 @@
+//! Cache-lookup and batch-classification benchmarks — the per-batch hash
+//! lookup SALIENT++ performs for every remote vertex (§4.2).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_bench::papers_sim;
+use spp_core::policies::CachePolicy;
+use spp_runtime::{DistributedSetup, SetupConfig};
+use spp_sampler::{Fanouts, NodeWiseSampler};
+
+fn bench_plan(c: &mut Criterion) {
+    let ds = papers_sim(0.25, 1);
+    let setup = DistributedSetup::build(
+        &ds,
+        SetupConfig {
+            num_machines: 4,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            batch_size: 16,
+            policy: CachePolicy::VipAnalytic,
+            alpha: 0.32,
+            beta: 0.5,
+            vip_reorder: true,
+            seed: 1,
+        },
+    );
+    let sampler = NodeWiseSampler::new(&setup.dataset.graph, Fanouts::new(vec![15, 10, 5]));
+    let mut rng = StdRng::seed_from_u64(2);
+    let seeds: Vec<u32> = setup.local_train[0].iter().take(16).copied().collect();
+    let mfg = sampler.sample(&seeds, &mut rng);
+    println!("classifying {} vertices per batch", mfg.num_nodes());
+
+    c.bench_function("batch_plan_classify", |b| {
+        b.iter(|| black_box(setup.stores[0].plan(black_box(&mfg.nodes)).num_remote()))
+    });
+    c.bench_function("cache_lookup_only", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &v in &mfg.nodes {
+                if setup.stores[0].cache().contains(black_box(v)) {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        })
+    });
+    c.bench_function("gather_local_only_rows", |b| {
+        // Serving a peer request: slice 1k local rows.
+        let range = setup.layout.part_range(0);
+        let ids: Vec<u32> = (range.start as u32..range.start as u32 + 1000).collect();
+        b.iter(|| black_box(setup.stores[0].serve(black_box(&ids)).num_rows()))
+    });
+}
+
+criterion_group!(benches, bench_plan);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Multilevel-partitioner benchmarks (the paper's METIS preprocessing
+//! step: ~2 h serial on papers100M; ours should be seconds at mini scale).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_bench::papers_sim;
+use spp_partition::multilevel::MultilevelPartitioner;
+use spp_partition::{simple, VertexWeights};
+
+fn bench_partition(c: &mut Criterion) {
+    let ds = papers_sim(0.25, 1);
+    let w = VertexWeights::from_dataset(&ds);
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    group.bench_function("multilevel_k8", |b| {
+        b.iter(|| {
+            let p = MultilevelPartitioner::new(8).seed(1).partition(&ds.graph, &w);
+            black_box(p.sizes())
+        })
+    });
+    group.bench_function("ldg_k8", |b| {
+        b.iter(|| {
+            let p = simple::ldg_partition(&ds.graph, 8, &w);
+            black_box(p.sizes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partition);
+criterion_main!(benches);

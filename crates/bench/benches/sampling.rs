@@ -1,0 +1,83 @@
+//! Microbenchmarks for the node-wise sampler — the component SALIENT
+//! performance-engineered and SALIENT++ inherits.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_bench::papers_sim;
+use spp_sampler::{Fanouts, NodeWiseSampler, VertexIndexer};
+
+fn bench_sampling(c: &mut Criterion) {
+    let ds = papers_sim(0.5, 1);
+    let mut group = c.benchmark_group("sampler");
+    group.sample_size(30);
+    for (name, fanouts) in [
+        ("fanout_15_10_5", Fanouts::new(vec![15, 10, 5])),
+        ("fanout_5_5_5", Fanouts::new(vec![5, 5, 5])),
+        ("fanout_25_15", Fanouts::new(vec![25, 15])),
+    ] {
+        let sampler = NodeWiseSampler::new(&ds.graph, fanouts);
+        let seeds: Vec<u32> = ds.split.train.iter().take(64).copied().collect();
+        group.bench_function(name, |b| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                let mfg = sampler.sample(black_box(&seeds), &mut rng);
+                black_box(mfg.num_nodes())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_indexer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vertex_indexer");
+    let keys: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    group.bench_function("insert_100k", |b| {
+        b.iter(|| {
+            let mut idx = VertexIndexer::with_capacity(128);
+            for &k in &keys {
+                idx.insert(black_box(k));
+            }
+            black_box(idx.len())
+        })
+    });
+    group.bench_function("hashmap_insert_100k_baseline", |b| {
+        b.iter(|| {
+            let mut idx = std::collections::HashMap::new();
+            for &k in &keys {
+                let n = idx.len() as u32;
+                idx.entry(black_box(k)).or_insert(n);
+            }
+            black_box(idx.len())
+        })
+    });
+    group.finish();
+}
+
+fn bench_other_samplers(c: &mut Criterion) {
+    let ds = papers_sim(0.5, 1);
+    let seeds: Vec<u32> = ds.split.train.iter().take(64).copied().collect();
+    let mut group = c.benchmark_group("sampler_variants");
+    group.sample_size(20);
+    {
+        use spp_sampler::weighted::{EdgeWeights, WeightedNodeWiseSampler};
+        let w = EdgeWeights::uniform(&ds.graph);
+        let s = WeightedNodeWiseSampler::new(&ds.graph, &w, Fanouts::new(vec![15, 10, 5]));
+        group.bench_function("weighted_15_10_5", |b| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| black_box(s.sample(black_box(&seeds), &mut rng).num_nodes()))
+        });
+    }
+    {
+        use spp_sampler::layerwise::LayerWiseSampler;
+        let s = LayerWiseSampler::new(&ds.graph, vec![512, 1024, 2048]);
+        group.bench_function("layerwise_512_1024_2048", |b| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| black_box(s.sample(black_box(&seeds), &mut rng).num_nodes()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling, bench_indexer, bench_other_samplers);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Discrete-event engine and end-to-end epoch-simulation benchmarks.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_bench::papers_sim;
+use spp_comm::DesEngine;
+use spp_core::policies::CachePolicy;
+use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
+use spp_sampler::Fanouts;
+
+fn bench_des(c: &mut Criterion) {
+    c.bench_function("des_100k_tasks", |b| {
+        b.iter(|| {
+            let mut des = DesEngine::new();
+            let r1 = des.add_resource("a");
+            let r2 = des.add_resource("b");
+            let mut prev = None;
+            for i in 0..100_000 {
+                let r = if i % 2 == 0 { r1 } else { r2 };
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(des.submit(r, 1e-6, &deps));
+            }
+            black_box(des.makespan())
+        })
+    });
+}
+
+fn bench_epoch_sim(c: &mut Criterion) {
+    let ds = papers_sim(0.25, 1);
+    let setup = DistributedSetup::build(
+        &ds,
+        SetupConfig {
+            num_machines: 8,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            batch_size: 8,
+            policy: CachePolicy::VipAnalytic,
+            alpha: 0.32,
+            beta: 0.5,
+            vip_reorder: true,
+            seed: 1,
+        },
+    );
+    let cost = CostModel::mini_calibrated();
+    let mut group = c.benchmark_group("epoch_simulation");
+    group.sample_size(20);
+    group.bench_function("salientpp_8gpu_epoch", |b| {
+        let sim = EpochSim::new(&setup, cost, SystemSpec::pipelined(256));
+        b.iter(|| black_box(sim.simulate_epoch(0).makespan))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_epoch_sim);
+criterion_main!(benches);

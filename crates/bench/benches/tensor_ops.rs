@@ -1,0 +1,89 @@
+//! Tensor-engine microbenchmarks: dense matmul, sparse aggregation, and
+//! a full GraphSAGE forward+backward over a realistic MFG.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use spp_bench::papers_sim;
+use spp_gnn::{Arch, GnnModel, Trainer};
+use spp_sampler::{Fanouts, NodeWiseSampler};
+use spp_tensor::tape::{AggMode, CsrAdj};
+use spp_tensor::{Matrix, Tape};
+use std::sync::Arc;
+
+fn random_matrix(r: usize, c: usize, rng: &mut StdRng) -> Matrix {
+    let mut m = Matrix::zeros(r, c);
+    for v in m.as_flat_mut() {
+        *v = rng.gen::<f32>() - 0.5;
+    }
+    m
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(30);
+    for (r, k, cc) in [(1024usize, 64usize, 64usize), (4096, 64, 256), (1024, 256, 256)] {
+        let a = random_matrix(r, k, &mut rng);
+        let b = random_matrix(k, cc, &mut rng);
+        group.bench_function(format!("{r}x{k}x{cc}"), |bch| {
+            bch.iter(|| black_box(a.matmul(black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_agg(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let num_targets = 2_000usize;
+    let num_sources = 10_000usize;
+    let fanout = 10usize;
+    let mut row_ptr = vec![0usize];
+    let mut col = Vec::new();
+    for _ in 0..num_targets {
+        for _ in 0..fanout {
+            col.push(rng.gen_range(0..num_sources) as u32);
+        }
+        row_ptr.push(col.len());
+    }
+    let adj = Arc::new(CsrAdj {
+        num_targets,
+        num_sources,
+        row_ptr,
+        col,
+    });
+    let x = random_matrix(num_sources, 64, &mut rng);
+    c.bench_function("sparse_mean_agg_2k_targets_f10_d64", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let xin = tape.input(x.clone());
+            let y = tape.sparse_agg(xin, Arc::clone(&adj), AggMode::Mean);
+            black_box(tape.value(y).rows())
+        })
+    });
+}
+
+fn bench_training_step(c: &mut Criterion) {
+    let ds = papers_sim(0.1, 1);
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let sampler = NodeWiseSampler::new(&ds.graph, fanouts);
+    let mut rng = StdRng::seed_from_u64(3);
+    let seeds: Vec<u32> = ds.split.train.iter().take(32).copied().collect();
+    let mfg = sampler.sample(&seeds, &mut rng);
+    let x = Trainer::gather_features(&ds, &mfg);
+    let model = GnnModel::new(Arch::Sage, &[ds.features.dim(), 64, ds.num_classes], 1);
+    let labels: Arc<Vec<u32>> = Arc::new(
+        mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect(),
+    );
+    c.bench_function("sage_forward_backward_b32", |b| {
+        b.iter(|| {
+            let mut fwd = model.forward(x.clone(), &mfg, false, &mut rng);
+            let loss = fwd.tape.softmax_cross_entropy(fwd.logits, Arc::clone(&labels));
+            fwd.tape.backward(loss);
+            black_box(fwd.tape.grad(fwd.param_nodes[0]).is_some())
+        })
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_sparse_agg, bench_training_step);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks for VIP analysis and the caching policies. The paper
+//! reports the full VIP computation for papers100M takes 11.8 s on their
+//! hardware; the O(L(M+N)) sweep here should scale linearly in edges.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use spp_bench::papers_sim;
+use spp_core::policies::{CachePolicy, PolicyContext};
+use spp_core::VipModel;
+use spp_runtime::{DistributedSetup, SetupConfig};
+use spp_sampler::Fanouts;
+
+fn bench_vip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vip");
+    group.sample_size(10);
+    for scale in [0.25f64, 0.5, 1.0] {
+        let ds = papers_sim(scale, 1);
+        let model = VipModel::new(Fanouts::new(vec![15, 10, 5]), 8);
+        group.bench_function(format!("scores_n{}", ds.num_vertices()), |b| {
+            b.iter(|| {
+                black_box(model.scores(black_box(&ds.graph), black_box(&ds.split.train)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let ds = papers_sim(0.25, 1);
+    let cfg = SetupConfig {
+        num_machines: 4,
+        fanouts: Fanouts::new(vec![15, 10, 5]),
+        batch_size: 8,
+        ..SetupConfig::default()
+    };
+    let (partitioning, train) = DistributedSetup::partition(&ds, &cfg);
+    let mut group = c.benchmark_group("policy_ranking");
+    group.sample_size(10);
+    for policy in [
+        CachePolicy::Degree,
+        CachePolicy::WeightedReversePagerank,
+        CachePolicy::NumPaths,
+        CachePolicy::VipAnalytic,
+    ] {
+        group.bench_function(policy.label(), |b| {
+            let ctx = PolicyContext {
+                graph: &ds.graph,
+                partitioning: &partitioning,
+                part: 0,
+                local_train: &train[0],
+                fanouts: cfg.fanouts.clone(),
+                batch_size: 8,
+                seed: 1,
+                oracle_counts: &[],
+            };
+            b.iter(|| black_box(ctx.rank(policy).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_vip, bench_policies);
+criterion_main!(benches);

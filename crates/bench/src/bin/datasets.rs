@@ -1,0 +1,51 @@
+//! Table 2: summary of the (synthetic stand-in) data sets, with the
+//! paper's originals for comparison.
+
+use spp_bench::{mag240_sim, papers_sim, products_sim, Cli, Table};
+
+fn main() {
+    let cli = Cli::parse();
+    let sets = [
+        products_sim(cli.scale, cli.seed),
+        papers_sim(cli.scale, cli.seed),
+        mag240_sim(cli.scale, cli.seed),
+    ];
+    let paper = [
+        ("ogbn-products", "2.4M", "123M", 100, "197K/39K/2.2M"),
+        ("ogbn-papers100M", "111M", "3.2B", 128, "1.2M/125K/214K"),
+        ("mag240c", "121M", "2.6B", 768, "1.1M/134K/88K"),
+    ];
+    let mut t = Table::new(
+        "Table 2: data sets (stand-in vs paper)",
+        &[
+            "data set",
+            "#vertices",
+            "#edges",
+            "#feat",
+            "train/val/test",
+            "paper original",
+        ],
+    );
+    for (ds, p) in sets.iter().zip(&paper) {
+        t.row(vec![
+            ds.name.clone(),
+            format!("{}", ds.num_vertices()),
+            format!("{}", ds.graph.num_edges() / 2),
+            format!("{}", ds.features.dim()),
+            format!(
+                "{}/{}/{}",
+                ds.split.train.len(),
+                ds.split.val.len(),
+                ds.split.test.len()
+            ),
+            format!("{}: {} v, {} e, {} feat, {}", p.0, p.1, p.2, p.3, p.4),
+        ]);
+    }
+    t.print();
+    t.write_csv("table2_datasets");
+
+    println!("\nstructural statistics (degree skew drives the paper's access skew):");
+    for ds in &sets {
+        println!("  {}: {}", ds.name, spp_graph::stats::GraphStats::compute(&ds.graph));
+    }
+}

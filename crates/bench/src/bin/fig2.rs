@@ -1,0 +1,144 @@
+//! Figure 2: comparison of caching policies with respect to remote
+//! feature communication volume. 3-layer GraphSAGE sampling with fanouts
+//! (5,5,5), (10,10,10), (15,10,5); minibatches from an 8-way
+//! METIS-style partition of the papers benchmark; replication factors
+//! α ∈ {0.05, 0.1, 0.2, 0.5, 1.0}. Panel (d) = geometric-mean improvement
+//! over no caching across fanouts.
+
+use spp_bench::report::geomean;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::{CachePolicy, PolicyContext};
+use spp_core::{CacheBuilder, StaticCache};
+use spp_runtime::{AccessCounts, DistributedSetup, SetupConfig};
+use spp_sampler::Fanouts;
+
+const ALPHAS: [f64; 5] = [0.05, 0.1, 0.2, 0.5, 1.0];
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let k = 8usize;
+    let batch = 8usize;
+    let epochs = cli.epochs_or(3);
+    let fanout_sets = [
+        Fanouts::new(vec![5, 5, 5]),
+        Fanouts::new(vec![10, 10, 10]),
+        Fanouts::new(vec![15, 10, 5]),
+    ];
+
+    // One partitioning shared by all fanout settings (as in the paper).
+    let cfg = SetupConfig {
+        num_machines: k,
+        fanouts: fanout_sets[2].clone(),
+        batch_size: batch,
+        ..SetupConfig::default()
+    };
+    let (partitioning, train_of_part) = DistributedSetup::partition(&ds, &cfg);
+    println!(
+        "dataset {} ({} vertices), 8-way partition, edge cut {:.1}%, {} measurement epochs\n",
+        ds.name,
+        ds.num_vertices(),
+        100.0 * spp_partition::metrics::edge_cut_fraction(&ds.graph, &partitioning),
+        epochs
+    );
+
+    // improvements[policy][alpha] collected across fanouts for panel (d).
+    let mut improvements: Vec<Vec<Vec<f64>>> =
+        vec![vec![Vec::new(); ALPHAS.len()]; CachePolicy::ALL.len()];
+
+    for fanouts in &fanout_sets {
+        let counts =
+            AccessCounts::measure(&ds.graph, &train_of_part, fanouts, batch, epochs, cli.seed ^ 1);
+        let no_cache = counts.no_cache_volume(&partitioning);
+
+        let mut table = Table::new(
+            &format!("Figure 2, fanouts {fanouts}: remote vertices/epoch (no caching: {no_cache:.0})"),
+            &[
+                "policy", "a=0.05", "a=0.10", "a=0.20", "a=0.50", "a=1.00",
+            ],
+        );
+        for (pi, &policy) in CachePolicy::ALL.iter().enumerate() {
+            if policy == CachePolicy::None {
+                table.row(
+                    std::iter::once("none".to_string())
+                        .chain(ALPHAS.iter().map(|_| format!("{no_cache:.0}")))
+                        .collect(),
+                );
+                continue;
+            }
+            // Rank once per partition, reuse across alphas.
+            let rankings: Vec<Vec<spp_graph::VertexId>> = (0..k as u32)
+                .map(|p| {
+                    if policy == CachePolicy::Oracle {
+                        counts.oracle_ranking(&partitioning, p as usize)
+                    } else {
+                        PolicyContext {
+                            graph: &ds.graph,
+                            partitioning: &partitioning,
+                            part: p,
+                            local_train: &train_of_part[p as usize],
+                            fanouts: fanouts.clone(),
+                            batch_size: batch,
+                            seed: cli.seed ^ 0xCAFE,
+                            oracle_counts: &[],
+                        }
+                        .rank(policy)
+                    }
+                })
+                .collect();
+            let mut row = vec![policy.label().to_string()];
+            for (ai, &alpha) in ALPHAS.iter().enumerate() {
+                let builder = CacheBuilder::new(alpha, ds.num_vertices(), k);
+                let caches: Vec<StaticCache> =
+                    rankings.iter().map(|r| builder.build(r)).collect();
+                let vol = counts.total_volume(&partitioning, &caches);
+                row.push(format!("{vol:.0}"));
+                improvements[pi][ai].push(no_cache / vol.max(1.0));
+            }
+            table.row(row);
+        }
+        table.print();
+        table.write_csv(&format!("fig2_{fanouts}"));
+        println!();
+    }
+
+    // Panel (d): geometric-mean improvement across fanouts.
+    let mut d = Table::new(
+        "Figure 2(d): geo-mean improvement over no caching (higher is better)",
+        &["policy", "a=0.05", "a=0.10", "a=0.20", "a=0.50", "a=1.00"],
+    );
+    for (pi, &policy) in CachePolicy::ALL.iter().enumerate() {
+        if policy == CachePolicy::None {
+            continue;
+        }
+        let mut row = vec![policy.label().to_string()];
+        for imps in &improvements[pi] {
+            row.push(format!("{:.2}x", geomean(imps)));
+        }
+        d.row(row);
+    }
+    d.print();
+    d.write_csv("fig2_d");
+
+    // Shape checks vs the paper's observations.
+    let g = |policy: CachePolicy, ai: usize| {
+        geomean(&improvements[CachePolicy::ALL.iter().position(|&p| p == policy).unwrap()][ai])
+    };
+    println!("\nshape vs paper (Fig 2):");
+    println!(
+        "  VIP within {:.0}% of oracle at a=0.20 (paper: within 5%)",
+        100.0 * (g(CachePolicy::Oracle, 2) / g(CachePolicy::VipAnalytic, 2) - 1.0)
+    );
+    println!(
+        "  VIP vs wPR at a=0.50: {:.2}x better (paper: up to 4x)",
+        g(CachePolicy::VipAnalytic, 3) / g(CachePolicy::WeightedReversePagerank, 3)
+    );
+    println!(
+        "  VIP vs degree at a=0.50: {:.2}x better (paper: large gap)",
+        g(CachePolicy::VipAnalytic, 3) / g(CachePolicy::Degree, 3)
+    );
+    println!(
+        "  analytic vs simulation at a=1.00: {:.2}x better (paper: 3.2x)",
+        g(CachePolicy::VipAnalytic, 4) / g(CachePolicy::Simulation, 4)
+    );
+}

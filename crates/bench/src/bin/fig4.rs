@@ -1,0 +1,108 @@
+//! Figure 4: impact of pipelining and VIP optimizations across the three
+//! benchmarks — products (4 partitions), papers (8 partitions), mag240c
+//! (16 partitions) — with the paper's replication factors (0.16, 0.32,
+//! 0.32) and architectures (Table 3: 3-layer/hidden-256 for products and
+//! papers, 2-layer/hidden-1024 fanouts (25,15) for mag240c).
+
+use spp_bench::report::fmt_secs;
+use spp_bench::{mag240_sim, papers_sim, products_sim, Cli, Table};
+use spp_core::policies::CachePolicy;
+use spp_graph::Dataset;
+use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
+use spp_sampler::Fanouts;
+
+struct Bench {
+    ds: Dataset,
+    machines: usize,
+    alpha: f64,
+    fanouts: Fanouts,
+    hidden: usize,
+    batch: usize,
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let benches = [
+        Bench {
+            ds: products_sim(cli.scale, cli.seed),
+            machines: 4,
+            alpha: 0.16,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            hidden: 256,
+            batch: 16,
+        },
+        Bench {
+            ds: papers_sim(cli.scale, cli.seed),
+            machines: 8,
+            alpha: 0.32,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            hidden: 256,
+            batch: 8,
+        },
+        Bench {
+            ds: mag240_sim(cli.scale, cli.seed),
+            machines: 16,
+            alpha: 0.32,
+            fanouts: Fanouts::new(vec![25, 15]),
+            hidden: 1024,
+            batch: 4,
+        },
+    ];
+    let epochs = cli.epochs_or(3);
+    let cost = CostModel::mini_calibrated();
+
+    let mut t = Table::new(
+        "Figure 4: per-epoch runtime under successive optimizations (simulated)",
+        &["system", "products K=4", "papers K=8", "mag240 K=16"],
+    );
+    let mut rows: Vec<Vec<String>> = vec![
+        vec!["partitioned (no pipeline, no cache)".into()],
+        vec!["+ pipelining".into()],
+        vec!["+ VIP caching (SALIENT++)".into()],
+    ];
+    let mut ratios = Vec::new();
+    for b in &benches {
+        let base_cfg = SetupConfig {
+            num_machines: b.machines,
+            fanouts: b.fanouts.clone(),
+            batch_size: b.batch,
+            policy: CachePolicy::None,
+            alpha: 0.0,
+            beta: 0.0,
+            vip_reorder: true,
+            seed: cli.seed,
+        };
+        let bare = DistributedSetup::build(&b.ds, base_cfg.clone());
+        let cached = DistributedSetup::build(
+            &b.ds,
+            SetupConfig {
+                policy: CachePolicy::VipAnalytic,
+                alpha: b.alpha,
+                ..base_cfg
+            },
+        );
+        let t_part = EpochSim::new(&bare, cost, SystemSpec::partitioned(b.hidden))
+            .mean_epoch_time(epochs);
+        let t_pipe =
+            EpochSim::new(&bare, cost, SystemSpec::pipelined(b.hidden)).mean_epoch_time(epochs);
+        let t_spp =
+            EpochSim::new(&cached, cost, SystemSpec::pipelined(b.hidden)).mean_epoch_time(epochs);
+        rows[0].push(fmt_secs(t_part));
+        rows[1].push(fmt_secs(t_pipe));
+        rows[2].push(fmt_secs(t_spp));
+        ratios.push((b.ds.name.clone(), t_part / t_pipe, t_pipe / t_spp));
+    }
+    for r in rows {
+        t.row(r);
+    }
+    t.print();
+    t.write_csv("fig4");
+
+    println!("\nshape vs paper (Fig 4): pipelining and caching each contribute;");
+    for (name, pipe_gain, cache_gain) in ratios {
+        println!(
+            "  {name}: pipelining {pipe_gain:.2}x, caching on top {cache_gain:.2}x \
+             (paper: papers benefits equally from both; mag240c slightly more from caching)"
+        );
+    }
+}

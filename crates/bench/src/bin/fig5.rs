@@ -1,0 +1,116 @@
+//! Figure 5: SALIENT++ scalability (per-epoch runtime on 2–16 GPUs) and
+//! total feature memory across machines as a multiple of the unreplicated
+//! dataset (1 + α).
+
+use spp_bench::report::fmt_secs;
+use spp_bench::{mag240_sim, papers_sim, products_sim, Cli, Table};
+use spp_core::policies::CachePolicy;
+use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
+use spp_sampler::Fanouts;
+
+fn main() {
+    let cli = Cli::parse();
+    let epochs = cli.epochs_or(3);
+    let cost = CostModel::mini_calibrated();
+    let machines = [2usize, 4, 8, 16];
+
+    let mut time_table = Table::new(
+        "Figure 5 (left): SALIENT++ per-epoch runtime (simulated)",
+        &["dataset", "K=2", "K=4", "K=8", "K=16"],
+    );
+    let mut mem_table = Table::new(
+        "Figure 5 (right): total feature memory, multiple of unreplicated (1 + alpha)",
+        &["dataset", "K=2", "K=4", "K=8", "K=16"],
+    );
+
+    type BenchSpec<'a> = (
+        &'a str,
+        Box<dyn Fn() -> spp_graph::Dataset + 'a>,
+        Fanouts,
+        usize,
+        usize,
+        f64,
+    );
+    let benches: [BenchSpec; 3] = [
+        (
+            "products",
+            Box::new(|| products_sim(cli.scale, cli.seed)),
+            Fanouts::new(vec![15, 10, 5]),
+            256,
+            16,
+            0.16,
+        ),
+        (
+            "papers",
+            Box::new(|| papers_sim(cli.scale, cli.seed)),
+            Fanouts::new(vec![15, 10, 5]),
+            256,
+            8,
+            0.32,
+        ),
+        (
+            "mag240",
+            Box::new(|| mag240_sim(cli.scale, cli.seed)),
+            Fanouts::new(vec![25, 15]),
+            1024,
+            4,
+            0.32,
+        ),
+    ];
+
+    let mut speedups = Vec::new();
+    for (name, make, fanouts, hidden, batch, alpha) in &benches {
+        let ds = make();
+        let mut times = Vec::new();
+        let mut mems = Vec::new();
+        for &k in &machines {
+            let setup = DistributedSetup::build(
+                &ds,
+                SetupConfig {
+                    num_machines: k,
+                    fanouts: fanouts.clone(),
+                    batch_size: *batch,
+                    policy: CachePolicy::VipAnalytic,
+                    alpha: *alpha,
+                    beta: 0.1,
+                    vip_reorder: true,
+                    seed: cli.seed,
+                },
+            );
+            times.push(
+                EpochSim::new(&setup, cost, SystemSpec::pipelined(*hidden))
+                    .mean_epoch_time(epochs),
+            );
+            mems.push(setup.memory_multiple());
+        }
+        time_table.row(
+            std::iter::once(name.to_string())
+                .chain(times.iter().map(|&t| fmt_secs(t)))
+                .collect(),
+        );
+        mem_table.row(
+            std::iter::once(name.to_string())
+                .chain(mems.iter().map(|m| format!("{m:.2}x")))
+                .collect(),
+        );
+        speedups.push((name, times[1] / times[2], times[2] / times[3]));
+    }
+    time_table.print();
+    time_table.write_csv("fig5_time");
+    println!();
+    mem_table.print();
+    mem_table.write_csv("fig5_mem");
+
+    println!("\nshape vs paper (Fig 5):");
+    for (name, s48, s816) in speedups {
+        println!(
+            "  {name}: 4->8 GPUs {s48:.2}x, 8->16 GPUs {s816:.2}x \
+             (paper papers: 1.9x; mag240c: 1.75x then 1.45x; scaling tapers as \
+             per-epoch time shrinks and pipeline fill dominates)"
+        );
+    }
+    println!(
+        "  memory stays at ~(1 + alpha) instead of full replication's K(x) — \
+     the paper's central storage claim"
+    );
+}

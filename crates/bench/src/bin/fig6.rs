@@ -1,0 +1,91 @@
+//! Figure 6: impact of VIP-based local vertex ordering on per-epoch
+//! runtime as the fraction β of local features stored on GPU grows.
+//! Papers benchmark, 4 GPUs, α = 0.15. "no reorder" should improve
+//! roughly linearly in β; "VIP reorder" should eliminate the
+//! host-to-device bottleneck with ~10% of the data on GPU.
+
+use spp_bench::report::fmt_secs;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::CachePolicy;
+use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
+use spp_sampler::Fanouts;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let epochs = cli.epochs_or(3);
+    let cost = CostModel::mini_calibrated();
+    let betas = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9];
+
+    let mut t = Table::new(
+        "Figure 6: per-epoch runtime vs % of local features on GPU (papers, 4 GPUs, a=0.15)",
+        &["ordering", "0%", "10%", "25%", "50%", "75%", "90%"],
+    );
+    let mut h2d_t = Table::new(
+        "Figure 6 (mechanism): host-to-device busy time per machine-epoch",
+        &["ordering", "0%", "10%", "25%", "50%", "75%", "90%"],
+    );
+    let mut curves = Vec::new();
+    let mut h2d_curves = Vec::new();
+    for (label, vip_reorder) in [("no reorder", false), ("VIP reorder", true)] {
+        let mut row = vec![label.to_string()];
+        let mut h2d_row = vec![label.to_string()];
+        let mut curve = Vec::new();
+        let mut h2d_curve = Vec::new();
+        for &beta in &betas {
+            let setup = DistributedSetup::build(
+                &ds,
+                SetupConfig {
+                    num_machines: 4,
+                    fanouts: Fanouts::new(vec![15, 10, 5]),
+                    batch_size: 8,
+                    policy: CachePolicy::VipAnalytic,
+                    alpha: 0.15,
+                    beta,
+                    vip_reorder,
+                    seed: cli.seed,
+                },
+            );
+            let sim = EpochSim::new(&setup, cost, SystemSpec::pipelined(256));
+            let mut time = 0.0;
+            let mut h2d = 0.0;
+            for e in 0..epochs {
+                let et = sim.simulate_epoch(e as u64);
+                time += et.makespan;
+                h2d += et.breakdown.h2d / 4.0;
+            }
+            time /= epochs as f64;
+            h2d /= epochs as f64;
+            row.push(fmt_secs(time));
+            h2d_row.push(fmt_secs(h2d));
+            curve.push(time);
+            h2d_curve.push(h2d);
+        }
+        t.row(row);
+        h2d_t.row(h2d_row);
+        curves.push(curve);
+        h2d_curves.push(h2d_curve);
+    }
+    t.print();
+    t.write_csv("fig6");
+    println!();
+    h2d_t.print();
+    h2d_t.write_csv("fig6_h2d");
+
+    let no_reorder = &h2d_curves[0];
+    let vip = &h2d_curves[1];
+    println!("\nshape vs paper (Fig 6) — host-to-device data movement:");
+    println!(
+        "  VIP reorder at 10% GPU removes {:.0}% of the beta=0 transfer volume \
+         (paper: the bottleneck is effectively eliminated at 10%)",
+        100.0 * (1.0 - vip[1] / vip[0])
+    );
+    println!(
+        "  no-reorder at 10% GPU removes only {:.0}% — it needs ~beta% to remove beta%",
+        100.0 * (1.0 - no_reorder[1] / no_reorder[0])
+    );
+    println!(
+        "  end-to-end epoch time moves less at mini scale because the (already cached)\n\
+         communication stage, not H2D, sits on the critical path here."
+    );
+}

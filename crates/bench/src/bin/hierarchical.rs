@@ -1,0 +1,104 @@
+//! Ablation for the paper's §6 future work: hierarchical (machine × GPU)
+//! partitioning. Measures real sampled traffic between GPUs and splits it
+//! into same-GPU / intra-machine / inter-machine, then estimates the
+//! communication time under a two-tier interconnect (NVLink-class
+//! intra-machine links ~10x faster than the network).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_graph::VertexId;
+use spp_partition::hierarchical::hierarchical_partition;
+use spp_partition::multilevel::MultilevelPartitioner;
+use spp_partition::{Partitioning, VertexWeights};
+use spp_sampler::{Fanouts, MinibatchIter, NodeWiseSampler};
+
+/// Counts sampled accesses by locality class for each partitioning.
+fn traffic(
+    ds: &spp_graph::Dataset,
+    part: &Partitioning,
+    machine_of: &dyn Fn(u32) -> u32,
+    fanouts: &Fanouts,
+    batch: usize,
+    epochs: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let total_parts = part.num_parts();
+    let mut train: Vec<Vec<VertexId>> = vec![Vec::new(); total_parts];
+    for &v in &ds.split.train {
+        train[part.part_of(v) as usize].push(v);
+    }
+    let mut intra = 0u64;
+    let mut inter = 0u64;
+    for (p, t) in train.iter().enumerate() {
+        let sampler = NodeWiseSampler::new(&ds.graph, fanouts.clone());
+        let mut rng = StdRng::seed_from_u64(seed ^ (p as u64) << 7);
+        for e in 0..epochs {
+            for b in MinibatchIter::new(t, batch, seed ^ p as u64, e as u64) {
+                let mfg = sampler.sample(&b, &mut rng);
+                for &v in &mfg.nodes {
+                    let vp = part.part_of(v);
+                    if vp == p as u32 {
+                        continue;
+                    }
+                    if machine_of(vp) == machine_of(p as u32) {
+                        intra += 1;
+                    } else {
+                        inter += 1;
+                    }
+                }
+            }
+        }
+    }
+    (intra as f64 / epochs as f64, inter as f64 / epochs as f64)
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let machines = 4usize;
+    let gpus = 2usize;
+    let fanouts = Fanouts::new(vec![15, 10, 5]);
+    let epochs = cli.epochs_or(2);
+    let w = VertexWeights::from_dataset(&ds);
+
+    let hier = hierarchical_partition(&ds.graph, &w, machines, gpus, cli.seed);
+    let flat = MultilevelPartitioner::new(machines * gpus)
+        .seed(cli.seed)
+        .partition(&ds.graph, &w);
+
+    // Two-tier interconnect: intra-machine links 10x the network rate.
+    let net_cost = |intra: f64, inter: f64| inter + intra / 10.0;
+
+    let mut t = Table::new(
+        "Hierarchical partitioning: remote accesses/epoch by locality (4 machines x 2 GPUs)",
+        &["partitioning", "intra-machine", "inter-machine", "weighted comm cost"],
+    );
+    let mut costs = Vec::new();
+    for (name, part) in [("flat 8-way", &flat), ("hierarchical 4x2", &hier.flat)] {
+        let (intra, inter) = traffic(
+            &ds,
+            part,
+            &|p| p / gpus as u32,
+            &fanouts,
+            8,
+            epochs,
+            cli.seed ^ 9,
+        );
+        costs.push(net_cost(intra, inter));
+        t.row(vec![
+            name.to_string(),
+            format!("{intra:.0}"),
+            format!("{inter:.0}"),
+            format!("{:.0}", net_cost(intra, inter)),
+        ]);
+    }
+    t.print();
+    t.write_csv("hierarchical");
+    println!(
+        "\nhierarchical vs flat weighted comm cost: {:.2}x better\n\
+         (paper §6: 'a hierarchical graph partitioning may better leverage the higher\n\
+         intra-machine bandwidth among GPUs than inter-machine communication')",
+        costs[0] / costs[1]
+    );
+}

@@ -1,0 +1,136 @@
+//! Ablation for the paper's scope boundary (§3): the analytic VIP model
+//! covers node-wise sampling only; for other schemes the *empirical*
+//! estimate ("sim.") still applies. Under a layer-wise sampler this
+//! harness pits empirical layer-wise access counts against the
+//! (scheme-mismatched) node-wise analytic model — exposing both sides of
+//! the paper's empirical-estimation trade-off: matched measurements win
+//! the hot head once they have enough samples, while the analytic prior
+//! ranks the rarely-touched tail better.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::{CacheBuilder, StaticCache, VipModel};
+use spp_graph::VertexId;
+use spp_runtime::{DistributedSetup, SetupConfig};
+use spp_sampler::layerwise::LayerWiseSampler;
+use spp_sampler::{Fanouts, MinibatchIter};
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let n = ds.num_vertices();
+    let k = 8usize;
+    let batch = 8usize;
+    let budgets = vec![120usize, 60, 30];
+    let epochs = cli.epochs_or(2);
+
+    let cfg = SetupConfig {
+        num_machines: k,
+        fanouts: Fanouts::new(vec![15, 10, 5]),
+        batch_size: batch,
+        ..SetupConfig::default()
+    };
+    let (part, train) = DistributedSetup::partition(&ds, &cfg);
+
+    // Access counts under the LAYER-WISE sampler: one pass for policy
+    // fitting (seed A), a second, independent pass for evaluation (seed B)
+    // so the empirical policy cannot overfit the evaluated epochs.
+    let measure = |tag: u64| -> Vec<Vec<u64>> {
+        train
+            .iter()
+            .enumerate()
+            .map(|(m, t)| {
+                let sampler = LayerWiseSampler::new(&ds.graph, budgets.clone());
+                let mut rng = StdRng::seed_from_u64(tag ^ (m as u64) << 8);
+                let mut c = vec![0u64; n];
+                for e in 0..epochs {
+                    for b in MinibatchIter::new(t, batch, tag ^ m as u64, e as u64) {
+                        let mfg = sampler.sample(&b, &mut rng);
+                        for &v in &mfg.nodes {
+                            c[v as usize] += 1;
+                        }
+                    }
+                }
+                c
+            })
+            .collect()
+    };
+    let fit_counts = measure(101);
+    let eval_counts = measure(707);
+
+    let volume = |rankings: &[Vec<VertexId>], alpha: f64| -> f64 {
+        let builder = CacheBuilder::new(alpha, n, k);
+        (0..k)
+            .map(|m| {
+                let cache: StaticCache = builder.build(&rankings[m]);
+                eval_counts[m]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, _)| {
+                        part.part_of(v as VertexId) != m as u32
+                            && !cache.contains(v as VertexId)
+                    })
+                    .map(|(_, &c)| c as f64)
+                    .sum::<f64>()
+                    / epochs as f64
+            })
+            .sum()
+    };
+    let rank_scores = |scores: &[Vec<f64>]| -> Vec<Vec<VertexId>> {
+        (0..k)
+            .map(|m| {
+                let s = &scores[m];
+                let mut remote: Vec<VertexId> = (0..n as u32)
+                    .filter(|&v| part.part_of(v) != m as u32 && s[v as usize] > 0.0)
+                    .collect();
+                remote.sort_by(|&a, &b| {
+                    s[b as usize].partial_cmp(&s[a as usize]).unwrap().then(a.cmp(&b))
+                });
+                remote
+            })
+            .collect()
+    };
+
+    // Policy A: empirical layer-wise counts (the paper's "sim." approach).
+    let sim_ranks = rank_scores(
+        &fit_counts
+            .iter()
+            .map(|c| c.iter().map(|&x| x as f64).collect())
+            .collect::<Vec<Vec<f64>>>(),
+    );
+    // Policy B: the node-wise analytic model — mismatched for this scheme.
+    let nodewise =
+        VipModel::new(Fanouts::new(vec![15, 10, 5]), batch).partition_scores(&ds.graph, &train);
+    let vip_ranks = rank_scores(&nodewise);
+
+    let none = volume(&vec![Vec::new(); k], 0.0);
+    println!(
+        "layer-wise sampling (budgets {:?}) on {}, {k} machines; no cache: {none:.0} remote/epoch\n",
+        budgets, ds.name
+    );
+    let mut t = Table::new(
+        "Caching under LAYER-WISE sampling: remote vertices/epoch",
+        &["ranking model", "a=0.10", "a=0.30", "a=0.60"],
+    );
+    for (name, ranks) in [
+        ("empirical layer-wise (sim.)", &sim_ranks),
+        ("node-wise analytic VIP", &vip_ranks),
+    ] {
+        t.row(
+            std::iter::once(name.to_string())
+                .chain([0.10, 0.30, 0.60].iter().map(|&a| format!("{:.0}", volume(ranks, a))))
+                .collect(),
+        );
+    }
+    t.print();
+    t.write_csv("layerwise_vip");
+    println!(
+        "\ntakeaway: the empirical policy transfers to any sampling scheme and, given\n\
+         enough measurement epochs, wins the hot head (small alpha). But its noisy\n\
+         tail estimates lose to an analytic prior at large alpha — even a\n\
+         scheme-mismatched one — which is the paper's own finding about empirical\n\
+         estimation ('requires increasingly many samples ... for infrequently\n\
+         accessed vertices'). Try --epochs 2 vs --epochs 8 to see the crossover."
+    );
+}

@@ -1,0 +1,80 @@
+//! Ablation (beyond the paper's figures): how much does partition quality
+//! matter for communication volume? Compares random, hash, streaming LDG,
+//! and the multilevel partitioner at equal replication factor.
+
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::{CachePolicy, PolicyContext};
+use spp_core::{CacheBuilder, StaticCache};
+use spp_partition::multilevel::MultilevelPartitioner;
+use spp_partition::{simple, Partitioning, VertexWeights};
+use spp_runtime::AccessCounts;
+use spp_sampler::Fanouts;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let k = 8usize;
+    let batch = 8usize;
+    let fanouts = Fanouts::new(vec![15, 10, 5]);
+    let epochs = cli.epochs_or(2);
+    let w = VertexWeights::from_dataset(&ds);
+
+    let parts: Vec<(&str, Partitioning)> = vec![
+        ("random", simple::random_partition(ds.num_vertices(), k, cli.seed)),
+        ("hash", simple::hash_partition(ds.num_vertices(), k)),
+        ("LDG", simple::ldg_partition(&ds.graph, k, &w)),
+        (
+            "multilevel",
+            MultilevelPartitioner::new(k).seed(cli.seed).partition(&ds.graph, &w),
+        ),
+    ];
+
+    let mut t = Table::new(
+        "Partition ablation: edge cut and per-epoch remote volume (papers, K=8)",
+        &["partitioner", "edge cut", "no cache", "VIP a=0.16", "VIP a=0.32"],
+    );
+    for (name, part) in &parts {
+        let mut train: Vec<Vec<spp_graph::VertexId>> = vec![Vec::new(); k];
+        for &v in &ds.split.train {
+            train[part.part_of(v) as usize].push(v);
+        }
+        let counts = AccessCounts::measure(&ds.graph, &train, &fanouts, batch, epochs, cli.seed);
+        let none = counts.no_cache_volume(part);
+        let mut row = vec![
+            name.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * spp_partition::metrics::edge_cut_fraction(&ds.graph, part)
+            ),
+            format!("{none:.0}"),
+        ];
+        for alpha in [0.16, 0.32] {
+            let builder = CacheBuilder::new(alpha, ds.num_vertices(), k);
+            let caches: Vec<StaticCache> = (0..k as u32)
+                .map(|p| {
+                    let ranking = PolicyContext {
+                        graph: &ds.graph,
+                        partitioning: part,
+                        part: p,
+                        local_train: &train[p as usize],
+                        fanouts: fanouts.clone(),
+                        batch_size: batch,
+                        seed: cli.seed,
+                        oracle_counts: &[],
+                    }
+                    .rank(CachePolicy::VipAnalytic);
+                    builder.build(&ranking)
+                })
+                .collect();
+            row.push(format!("{:.0}", counts.total_volume(part, &caches)));
+        }
+        t.row(row);
+    }
+    t.print();
+    t.write_csv("partition_ablation");
+    println!(
+        "\ntakeaway: a structure-aware partitioner cuts the no-cache volume by itself;\n\
+         VIP caching then removes most of what remains — the two compose (the paper's\n\
+         future-work §6 proposes folding VIP into the partitioning objective)."
+    );
+}

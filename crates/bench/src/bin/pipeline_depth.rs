@@ -1,0 +1,57 @@
+//! Ablation (beyond the paper's figures): sensitivity to the pipeline
+//! depth. SALIENT++ keeps 10 minibatches in flight (§4.3); this sweep
+//! shows diminishing returns past a handful of in-flight batches.
+
+use spp_bench::report::fmt_secs;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::CachePolicy;
+use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
+use spp_sampler::Fanouts;
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let epochs = cli.epochs_or(3);
+    let cost = CostModel::mini_calibrated();
+    let setup = DistributedSetup::build(
+        &ds,
+        SetupConfig {
+            num_machines: 8,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            batch_size: 8,
+            policy: CachePolicy::VipAnalytic,
+            alpha: 0.32,
+            beta: 0.1,
+            vip_reorder: true,
+            seed: cli.seed,
+        },
+    );
+
+    let depths = [1usize, 2, 3, 4, 6, 8, 10, 16];
+    let mut t = Table::new(
+        "Pipeline-depth ablation (papers, 8 GPUs, a=0.32)",
+        &["depth", "per-epoch time", "vs depth=10"],
+    );
+    let mut times = Vec::new();
+    for &d in &depths {
+        let spec = SystemSpec {
+            pipeline_depth: d,
+            ..SystemSpec::pipelined(256)
+        };
+        times.push(EpochSim::new(&setup, cost, spec).mean_epoch_time(epochs));
+    }
+    let t10 = times[depths.iter().position(|&d| d == 10).unwrap()];
+    for (&d, &time) in depths.iter().zip(&times) {
+        t.row(vec![
+            format!("{d}"),
+            fmt_secs(time),
+            format!("{:.2}x", time / t10),
+        ]);
+    }
+    t.print();
+    t.write_csv("pipeline_depth");
+    println!(
+        "\ntakeaway: most of the benefit arrives by depth ~4; SALIENT++'s 10 leaves\n\
+         headroom for stage-latency jitter that a deterministic simulation lacks."
+    );
+}

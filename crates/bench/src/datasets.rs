@@ -1,0 +1,117 @@
+//! Standard experiment datasets.
+//!
+//! Two variants per benchmark graph:
+//!
+//! - the *access-pattern* variant (`papers_sim` etc.) keeps the paper's
+//!   train/val/test skew (papers100M is ~99% unlabeled) and is used for
+//!   the communication-volume experiments (Figure 2) and accuracy runs;
+//! - the *timing* variant ([`timing_variant`]) enlarges the training set
+//!   so each simulated epoch has enough distributed minibatch rounds for
+//!   the pipeline to reach steady state — at 1/1000 scale the paper's
+//!   1.1% train fraction would leave only ~4 rounds per epoch, which
+//!   measures pipeline fill rather than throughput. The substitution is
+//!   recorded in EXPERIMENTS.md.
+
+use spp_graph::dataset::SyntheticSpec;
+use spp_graph::Dataset;
+
+/// Scaled stand-in for `ogbn-products` (paper: 2.4M vertices, avg degree
+/// 51, 100 features, 8.2%/1.6%/90% split).
+pub fn products_sim(scale: f64, seed: u64) -> Dataset {
+    let n = ((24_000.0 * scale) as usize).max(512);
+    SyntheticSpec::new("products-sim", n, 51.0, 50, 16)
+        .split_fractions(0.082, 0.016, 0.9)
+        .homophily(0.9)
+        .degree_tail(1.3)
+        .seed(seed)
+        .build()
+}
+
+/// Scaled stand-in for `ogbn-papers100M` (paper: 111M vertices, avg
+/// degree 29, 128 features, 1.1%/0.11%/0.19% split).
+pub fn papers_sim(scale: f64, seed: u64) -> Dataset {
+    let n = ((110_000.0 * scale) as usize).max(512);
+    SyntheticSpec::new("papers-sim", n, 29.0, 64, 32)
+        .split_fractions(0.011, 0.0011, 0.0019)
+        .homophily(0.93)
+        .degree_tail(1.2)
+        .seed(seed)
+        .build()
+}
+
+/// Scaled stand-in for `mag240c` (paper: 121M vertices, avg degree 21.5,
+/// 768 features — 6× papers' dimension).
+pub fn mag240_sim(scale: f64, seed: u64) -> Dataset {
+    let n = ((60_000.0 * scale) as usize).max(512);
+    SyntheticSpec::new("mag240-sim", n, 21.5, 384, 32)
+        .split_fractions(0.009, 0.0011, 0.0007)
+        .homophily(0.93)
+        .degree_tail(1.2)
+        .seed(seed)
+        .build()
+}
+
+/// The timing variant of a benchmark: same graph family and feature
+/// dimension, training fraction raised to 3% so a simulated epoch has
+/// tens of rounds per machine.
+pub fn timing_variant(name: &str, scale: f64, seed: u64) -> Dataset {
+    match name {
+        "products" => {
+            let n = ((24_000.0 * scale) as usize).max(512);
+            SyntheticSpec::new("products-sim-timing", n, 51.0, 50, 16)
+                .split_fractions(0.082, 0.016, 0.2)
+                .homophily(0.9)
+                .degree_tail(1.3)
+                .seed(seed)
+                .build()
+        }
+        "papers" => {
+            let n = ((110_000.0 * scale) as usize).max(512);
+            SyntheticSpec::new("papers-sim-timing", n, 29.0, 64, 32)
+                .split_fractions(0.03, 0.003, 0.005)
+                .homophily(0.93)
+                .degree_tail(1.2)
+                .seed(seed)
+                .build()
+        }
+        "mag240" => {
+            let n = ((60_000.0 * scale) as usize).max(512);
+            SyntheticSpec::new("mag240-sim-timing", n, 21.5, 384, 32)
+                .split_fractions(0.03, 0.003, 0.002)
+                .homophily(0.93)
+                .degree_tail(1.2)
+                .seed(seed)
+                .build()
+        }
+        other => panic!("unknown timing dataset {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_shapes() {
+        let p = products_sim(0.05, 1);
+        assert_eq!(p.features.dim(), 50);
+        let q = papers_sim(0.02, 1);
+        assert_eq!(q.features.dim(), 64);
+        assert!(q.split.train.len() * 50 < q.num_vertices());
+        let m = mag240_sim(0.02, 1);
+        assert_eq!(m.features.dim(), 384);
+    }
+
+    #[test]
+    fn timing_variant_has_more_train() {
+        let a = papers_sim(0.05, 1);
+        let t = timing_variant("papers", 0.05, 1);
+        assert!(t.split.train.len() > 2 * a.split.train.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown timing dataset")]
+    fn timing_variant_validates_name() {
+        timing_variant("nope", 1.0, 0);
+    }
+}

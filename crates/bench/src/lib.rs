@@ -1,0 +1,19 @@
+//! Shared infrastructure for the experiment harnesses.
+//!
+//! Each binary in `src/bin/` regenerates one of the paper's tables or
+//! figures (see DESIGN.md §5 for the index and EXPERIMENTS.md for
+//! paper-vs-measured results). This library provides the text/CSV table
+//! formatter, the standard experiment datasets, and a tiny CLI parser.
+
+// Index-based loops over multiple parallel arrays are used deliberately
+// throughout (CSR sweeps, per-partition load vectors); iterator zips would
+// obscure which array drives the bound.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cli;
+pub mod datasets;
+pub mod report;
+
+pub use cli::Cli;
+pub use datasets::{mag240_sim, papers_sim, products_sim, timing_variant};
+pub use report::Table;

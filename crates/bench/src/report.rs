@@ -1,0 +1,173 @@
+//! Aligned text tables + CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple result table: header row plus data rows, rendered as aligned
+/// monospace text (right-aligned data columns, left-aligned first column)
+/// and optionally written to CSV under `results/`.
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the header count.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table as aligned text.
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i == 0 {
+                    let _ = write!(line, "{:<w$}", c, w = widths[0]);
+                } else {
+                    let _ = write!(line, "  {:>w$}", c, w = widths[i]);
+                }
+            }
+            line
+        };
+        let header = fmt_row(&self.headers, &widths);
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{}", "-".repeat(header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        let _ = cols;
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// Writes the table as CSV to `results/<name>.csv` (creating the
+    /// directory), returning the path. Errors are printed, not fatal —
+    /// harnesses should keep running without a writable disk.
+    pub fn write_csv(&self, name: &str) -> Option<std::path::PathBuf> {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return None;
+        }
+        let path = dir.join(format!("{name}.csv"));
+        let mut csv = String::new();
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let _ = writeln!(
+            csv,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                csv,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
+        }
+        match std::fs::write(&path, csv) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Formats seconds as a human-friendly duration string.
+pub fn fmt_secs(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else if s >= 1e-3 {
+        format!("{:.2}ms", s * 1e3)
+    } else {
+        format!("{:.1}us", s * 1e6)
+    }
+}
+
+/// Geometric mean of a set of positive values (0 if empty).
+pub fn geomean(vals: &[f64]) -> f64 {
+    if vals.is_empty() {
+        return 0.0;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new("test", &["name", "value"]);
+        t.row(vec!["a".into(), "1".into()]);
+        t.row(vec!["long-name".into(), "23".into()]);
+        let r = t.render();
+        assert!(r.contains("== test =="));
+        assert!(r.contains("long-name"));
+        // Right-aligned numeric column.
+        let lines: Vec<&str> = r.lines().collect();
+        assert!(lines.last().unwrap().ends_with("23"));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_length_checked() {
+        Table::new("t", &["a", "b"]).row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn geomean_of_powers() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn fmt_secs_ranges() {
+        assert_eq!(fmt_secs(2.5), "2.50s");
+        assert_eq!(fmt_secs(0.0025), "2.50ms");
+        assert_eq!(fmt_secs(0.0000025), "2.5us");
+    }
+}

@@ -1,0 +1,22 @@
+//! Communication substrates for the SALIENT++ reproduction.
+//!
+//! Two execution modes back the experiments (DESIGN.md §6):
+//!
+//! - **Timing mode** — [`des`] provides a deterministic dependency-graph
+//!   discrete-event engine: tasks claim serial resources (CPU, GPU
+//!   compute, copy engines, NIC) and the engine computes start/completion
+//!   times, utilization, and makespan. [`net`] provides transfer-time
+//!   models (bandwidth + latency, with an optional token-bucket filter
+//!   reproducing the paper's slow-network experiments).
+//! - **Correctness mode** — [`alltoall`] provides a barriered all-to-all
+//!   exchange over real threads, used to move actual feature tensors
+//!   between simulated machines and verify distributed gathers
+//!   bit-for-bit.
+
+pub mod alltoall;
+pub mod des;
+pub mod net;
+
+pub use alltoall::{run_machines, AllToAll};
+pub use des::{DesEngine, ResourceId, TaskId, TraceEntry};
+pub use net::{NetworkModel, TokenBucket};

@@ -1,0 +1,201 @@
+//! Two-level vertex ordering (paper §4.1).
+//!
+//! The graph is reordered so that (a) each partition's vertices are
+//! contiguous and (b) within a partition, vertices appear in descending
+//! local-VIP order. Locality tests and owner lookups then become index
+//! comparisons against `K+1` offsets (constant additional memory), and a
+//! machine's GPU simply holds a *prefix* of its local feature rows.
+
+use spp_graph::{Permutation, VertexId};
+use spp_partition::Partitioning;
+
+/// The partition-major, VIP-sorted vertex layout.
+///
+/// # Example
+///
+/// ```
+/// use spp_core::ReorderedLayout;
+/// use spp_partition::Partitioning;
+///
+/// let part = Partitioning::new(vec![1, 0, 1, 0], 2);
+/// let layout = ReorderedLayout::build(&part, None);
+/// // Partition 0 owns new ids 0..2, partition 1 owns 2..4.
+/// assert_eq!(layout.owner_of(0), 0);
+/// assert_eq!(layout.owner_of(3), 1);
+/// assert_eq!(layout.part_range(1), 2..4);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ReorderedLayout {
+    perm: Permutation,
+    part_offsets: Vec<usize>,
+}
+
+impl ReorderedLayout {
+    /// Builds the layout. `local_scores`, if given, supplies each
+    /// partition's ranking score for its *own* vertices (indexed by old
+    /// vertex id); vertices are placed in descending score order within
+    /// their partition ("VIP reorder"). With `None`, the original id
+    /// order is kept within each partition ("no reorder" in Figure 6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_scores` is present with the wrong shape.
+    pub fn build(partitioning: &Partitioning, local_scores: Option<&[Vec<f64>]>) -> Self {
+        let n = partitioning.num_vertices();
+        let k = partitioning.num_parts();
+        if let Some(s) = local_scores {
+            assert_eq!(s.len(), k, "need one score vector per partition");
+            for sv in s {
+                assert_eq!(sv.len(), n, "score vector size mismatch");
+            }
+        }
+
+        let mut order: Vec<VertexId> = Vec::with_capacity(n);
+        let mut part_offsets = Vec::with_capacity(k + 1);
+        part_offsets.push(0usize);
+        for p in 0..k as u32 {
+            let mut members = partitioning.members(p);
+            if let Some(scores) = local_scores {
+                let sv = &scores[p as usize];
+                members.sort_by(|&a, &b| {
+                    sv[b as usize]
+                        .partial_cmp(&sv[a as usize])
+                        .unwrap()
+                        .then(a.cmp(&b))
+                });
+            }
+            order.extend_from_slice(&members);
+            part_offsets.push(order.len());
+        }
+
+        Self {
+            perm: Permutation::from_order(order),
+            part_offsets,
+        }
+    }
+
+    /// The vertex permutation (old id → new id).
+    pub fn perm(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Number of partitions.
+    pub fn num_parts(&self) -> usize {
+        self.part_offsets.len() - 1
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        *self.part_offsets.last().unwrap()
+    }
+
+    /// The partition owning a *new* vertex id (binary search over K+1
+    /// offsets).
+    #[inline]
+    pub fn owner_of(&self, new_id: VertexId) -> u32 {
+        debug_assert!((new_id as usize) < self.num_vertices());
+        (self.part_offsets.partition_point(|&o| o <= new_id as usize) - 1) as u32
+    }
+
+    /// The new-id range a partition owns.
+    pub fn part_range(&self, p: u32) -> std::ops::Range<usize> {
+        self.part_offsets[p as usize]..self.part_offsets[p as usize + 1]
+    }
+
+    /// True if new id `v` belongs to partition `p` — two comparisons, the
+    /// constant-memory locality test of §4.1.
+    #[inline]
+    pub fn is_local(&self, new_id: VertexId, p: u32) -> bool {
+        let v = new_id as usize;
+        v >= self.part_offsets[p as usize] && v < self.part_offsets[p as usize + 1]
+    }
+
+    /// Local index of a new id within its owner's range.
+    #[inline]
+    pub fn local_index(&self, new_id: VertexId) -> usize {
+        new_id as usize - self.part_offsets[self.owner_of(new_id) as usize]
+    }
+
+    /// Number of partition `p`'s vertices resident on GPU when a fraction
+    /// `beta` of local features is kept there (the GPU holds the prefix).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= beta <= 1`.
+    pub fn gpu_rows(&self, p: u32, beta: f64) -> usize {
+        assert!((0.0..=1.0).contains(&beta), "beta must be in [0,1]");
+        let len = self.part_range(p).len();
+        (len as f64 * beta).round() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_major_contiguity() {
+        let part = Partitioning::new(vec![2, 0, 1, 0, 2, 1], 3);
+        let layout = ReorderedLayout::build(&part, None);
+        // Sizes: p0 = {1,3}, p1 = {2,5}, p2 = {0,4}.
+        assert_eq!(layout.part_range(0), 0..2);
+        assert_eq!(layout.part_range(1), 2..4);
+        assert_eq!(layout.part_range(2), 4..6);
+        // Every old vertex maps into its partition's range.
+        for old in 0..6u32 {
+            let new = layout.perm().to_new(old);
+            assert_eq!(layout.owner_of(new), part.part_of(old));
+        }
+    }
+
+    #[test]
+    fn vip_scores_sort_within_partition() {
+        let part = Partitioning::new(vec![0, 0, 0, 1, 1], 2);
+        // Scores for partition 0's own vertices: v2 > v0 > v1.
+        let s0 = vec![0.5, 0.1, 0.9, 0.0, 0.0];
+        let s1 = vec![0.0, 0.0, 0.0, 0.2, 0.7];
+        let layout = ReorderedLayout::build(&part, Some(&[s0, s1]));
+        assert_eq!(layout.perm().to_new(2), 0);
+        assert_eq!(layout.perm().to_new(0), 1);
+        assert_eq!(layout.perm().to_new(1), 2);
+        assert_eq!(layout.perm().to_new(4), 3);
+        assert_eq!(layout.perm().to_new(3), 4);
+    }
+
+    #[test]
+    fn is_local_matches_owner() {
+        let part = Partitioning::new(vec![0, 1, 0, 1], 2);
+        let layout = ReorderedLayout::build(&part, None);
+        for v in 0..4u32 {
+            let owner = layout.owner_of(v);
+            assert!(layout.is_local(v, owner));
+            assert!(!layout.is_local(v, 1 - owner));
+        }
+    }
+
+    #[test]
+    fn local_index_within_range() {
+        let part = Partitioning::new(vec![0, 1, 0, 1, 1], 2);
+        let layout = ReorderedLayout::build(&part, None);
+        for v in 0..5u32 {
+            let li = layout.local_index(v);
+            assert!(li < layout.part_range(layout.owner_of(v)).len());
+        }
+    }
+
+    #[test]
+    fn gpu_rows_fractions() {
+        let part = Partitioning::new(vec![0; 10], 1);
+        let layout = ReorderedLayout::build(&part, None);
+        assert_eq!(layout.gpu_rows(0, 0.0), 0);
+        assert_eq!(layout.gpu_rows(0, 0.5), 5);
+        assert_eq!(layout.gpu_rows(0, 1.0), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "beta must be in [0,1]")]
+    fn gpu_rows_validates_beta() {
+        let part = Partitioning::new(vec![0], 1);
+        ReorderedLayout::build(&part, None).gpu_rows(0, 1.5);
+    }
+}

@@ -1,0 +1,331 @@
+//! The analytical VIP model (Proposition 1).
+//!
+//! For node-wise sampling with per-hop fanouts `f_h`, minibatch size `B`
+//! drawn uniformly from a training set `T`, Proposition 1 gives the
+//! probability that a vertex `u` appears in the sampled L-hop expanded
+//! neighborhood of a minibatch:
+//!
+//! ```text
+//! p[0](u) = B / |T|                          if u ∈ T, else 0
+//! p[h](u) = 1 - Π_{v ∈ N(u)} (1 - t_h(u,v) · p[h-1](v))
+//! p(u)    = 1 - Π_{h=1..L} (1 - p[h](u))
+//! t_h(u,v) = min(1, f_h / d(v))
+//! ```
+//!
+//! Products over high-degree neighborhoods underflow `f64`, so the
+//! implementation accumulates `ln(1 - t·p)` with `ln_1p` and
+//! exponentiates once per vertex per hop — the same `O(L(M+N))` sweep,
+//! numerically stable.
+
+use spp_graph::{CsrGraph, VertexId};
+use spp_sampler::Fanouts;
+
+/// Computes analytic vertex-inclusion probabilities.
+///
+/// # Example
+///
+/// ```
+/// use spp_core::VipModel;
+/// use spp_graph::generate::complete;
+/// use spp_sampler::Fanouts;
+///
+/// // On a complete graph with fanout >= degree, any 1-hop neighbor of a
+/// // certain minibatch vertex is included with probability 1.
+/// let g = complete(6);
+/// let model = VipModel::new(Fanouts::new(vec![10]), 1);
+/// let p = model.scores(&g, &[0]);
+/// assert!((p[1] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VipModel {
+    fanouts: Fanouts,
+    batch_size: usize,
+}
+
+impl VipModel {
+    /// Creates a model for the given fanouts and minibatch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(fanouts: Fanouts, batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self {
+            fanouts,
+            batch_size,
+        }
+    }
+
+    /// The configured fanouts.
+    pub fn fanouts(&self) -> &Fanouts {
+        &self.fanouts
+    }
+
+    /// Initial (hop-0) probabilities: `min(1, B/|T|)` on `train`, else 0.
+    pub fn initial_probabilities(&self, n: usize, train: &[VertexId]) -> Vec<f64> {
+        let mut p0 = vec![0.0f64; n];
+        if train.is_empty() {
+            return p0;
+        }
+        let p = (self.batch_size as f64 / train.len() as f64).min(1.0);
+        for &v in train {
+            p0[v as usize] = p;
+        }
+        p0
+    }
+
+    /// Hop-wise VIP vectors `p[1..=L]` from arbitrary initial
+    /// probabilities (Proposition 1's recurrence).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p0.len() != graph.num_vertices()`.
+    pub fn hop_scores(&self, graph: &CsrGraph, p0: &[f64]) -> Vec<Vec<f64>> {
+        assert_eq!(p0.len(), graph.num_vertices(), "p0 size mismatch");
+        let n = graph.num_vertices();
+        let mut hops = Vec::with_capacity(self.fanouts.num_hops());
+        let mut prev: Vec<f64> = p0.to_vec();
+        for h in 1..=self.fanouts.num_hops() {
+            let f = self.fanouts.hop(h) as f64;
+            let mut cur = vec![0.0f64; n];
+            for u in 0..n as VertexId {
+                let mut log_miss = 0.0f64;
+                for &v in graph.neighbors(u) {
+                    let pv = prev[v as usize];
+                    if pv <= 0.0 {
+                        continue;
+                    }
+                    let t = (f / graph.degree(v) as f64).min(1.0);
+                    let x = t * pv;
+                    if x >= 1.0 {
+                        log_miss = f64::NEG_INFINITY;
+                        break;
+                    }
+                    log_miss += (-x).ln_1p();
+                }
+                cur[u as usize] = 1.0 - log_miss.exp();
+            }
+            hops.push(cur.clone());
+            prev = cur;
+        }
+        hops
+    }
+
+    /// Combined VIP values `p(u) = 1 - Π_h (1 - p[h](u))` from hop vectors.
+    pub fn combine(hops: &[Vec<f64>]) -> Vec<f64> {
+        let n = hops.first().map_or(0, Vec::len);
+        let mut out = vec![0.0f64; n];
+        for (u, o) in out.iter_mut().enumerate() {
+            let mut log_miss = 0.0f64;
+            for h in hops {
+                let p = h[u];
+                if p >= 1.0 {
+                    log_miss = f64::NEG_INFINITY;
+                    break;
+                }
+                log_miss += (-p).ln_1p();
+            }
+            *o = 1.0 - log_miss.exp();
+        }
+        out
+    }
+
+    /// End-to-end: VIP values for minibatches drawn from `train`.
+    pub fn scores(&self, graph: &CsrGraph, train: &[VertexId]) -> Vec<f64> {
+        let p0 = self.initial_probabilities(graph.num_vertices(), train);
+        let hops = self.hop_scores(graph, &p0);
+        Self::combine(&hops)
+    }
+
+    /// Per-partition VIP values: entry `k` holds `p_k(u)` for minibatches
+    /// drawn from partition `k`'s training vertices (`train_of_part[k]`).
+    /// This is the quantity the caching policy ranks (paper §3.2 computes
+    /// rankings per partition, footnote 1). Partitions are independent,
+    /// so the sweeps run on one thread each (the paper streams this
+    /// computation through the GPU; we use the CPU cores).
+    pub fn partition_scores(
+        &self,
+        graph: &CsrGraph,
+        train_of_part: &[Vec<VertexId>],
+    ) -> Vec<Vec<f64>> {
+        if train_of_part.len() <= 1 {
+            return train_of_part.iter().map(|t| self.scores(graph, t)).collect();
+        }
+        let mut out: Vec<Vec<f64>> = Vec::new();
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = train_of_part
+                .iter()
+                .map(|t| scope.spawn(move |_| self.scores(graph, t)))
+                .collect();
+            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        })
+        .expect("VIP worker thread panicked");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use spp_graph::generate::{complete, ring_with_chords, star, GeneratorConfig};
+
+    #[test]
+    fn probabilities_in_unit_interval() {
+        let g = GeneratorConfig::rmat(512, 4096).seed(1).build();
+        let train: Vec<VertexId> = (0..100).collect();
+        let p = VipModel::new(Fanouts::new(vec![5, 5, 5]), 32).scores(&g, &train);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+    }
+
+    #[test]
+    fn empty_train_set_gives_zero() {
+        let g = complete(10);
+        let p = VipModel::new(Fanouts::new(vec![3]), 4).scores(&g, &[]);
+        assert!(p.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn batch_equal_to_train_makes_p0_one() {
+        let g = complete(5);
+        let model = VipModel::new(Fanouts::new(vec![10]), 5);
+        let train: Vec<VertexId> = (0..5).collect();
+        let p0 = model.initial_probabilities(5, &train);
+        assert!(p0.iter().all(|&x| x == 1.0));
+        // Full expansion from the whole graph: everything certain.
+        let p = model.scores(&g, &train);
+        assert!(p.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn monotone_in_fanout() {
+        let g = GeneratorConfig::rmat(256, 2048).seed(2).build();
+        let train: Vec<VertexId> = (0..50).collect();
+        let small = VipModel::new(Fanouts::new(vec![2, 2]), 16).scores(&g, &train);
+        let large = VipModel::new(Fanouts::new(vec![8, 8]), 16).scores(&g, &train);
+        for (s, l) in small.iter().zip(&large) {
+            assert!(l >= s, "VIP must grow with fanout: {s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn monotone_in_batch_size() {
+        let g = GeneratorConfig::rmat(256, 2048).seed(3).build();
+        let train: Vec<VertexId> = (0..100).collect();
+        let small = VipModel::new(Fanouts::new(vec![4, 4]), 8).scores(&g, &train);
+        let large = VipModel::new(Fanouts::new(vec![4, 4]), 64).scores(&g, &train);
+        for (s, l) in small.iter().zip(&large) {
+            assert!(*l >= s - 1e-12, "VIP must grow with batch size");
+        }
+    }
+
+    #[test]
+    fn random_walk_special_case_is_linear() {
+        // With fanout 1 and batch 1, p[1](u) = Σ_v t(u,v)·p0(v) exactly
+        // when at most one neighbor has nonzero p0 (no product cross
+        // terms). Star center: leaves sample the center w.p. 1.
+        let g = star(6);
+        let model = VipModel::new(Fanouts::new(vec![1]), 1);
+        // Train set = {1} (a leaf with degree 1): t(0,1) = min(1, 1/1) = 1.
+        let p = model.scores(&g, &[1]);
+        assert!((p[0] - 1.0).abs() < 1e-12);
+        // Other leaves unreachable in one hop.
+        assert_eq!(p[2], 0.0);
+    }
+
+    #[test]
+    fn full_expansion_special_case() {
+        // Fanout >= max degree: p[h](u) = 1 - Π (1 - p[h-1](v)), the
+        // deterministic BFS-expansion probability.
+        let g = ring_with_chords(12, 1);
+        let model = VipModel::new(Fanouts::new(vec![10]), 1);
+        let train: Vec<VertexId> = vec![0, 2];
+        let p = model.scores(&g, &train);
+        // Vertex 1 neighbors both train vertices; inclusion prob
+        // = 1 - (1 - 0.5)(1 - 0.5) = 0.75.
+        assert!((p[1] - 0.75).abs() < 1e-12);
+        // Vertex 6 is far away.
+        assert_eq!(p[6], 0.0);
+    }
+
+    #[test]
+    fn agrees_with_monte_carlo() {
+        // Empirical inclusion frequency under the exact random process the
+        // model analyzes — frontier expansion per Proposition 1's steps
+        // (i)–(iii) — must match the analytic VIP within sampling noise
+        // plus the model's independence-approximation slack.
+        let g = GeneratorConfig::erdos_renyi(60, 300).seed(4).build();
+        let train: Vec<VertexId> = (0..40).collect();
+        let fanouts = Fanouts::new(vec![3, 2]);
+        let b = 4usize;
+        let model = VipModel::new(fanouts.clone(), b);
+        let analytic = model.scores(&g, &train);
+
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 4000;
+        let mut counts = vec![0usize; g.num_vertices()];
+        let mut scratch = Vec::new();
+        for _ in 0..trials {
+            // Uniform minibatch of size b without replacement.
+            let mut pool = train.clone();
+            for i in 0..b {
+                let j = rand::Rng::gen_range(&mut rng, i..pool.len());
+                pool.swap(i, j);
+            }
+            let mut included = vec![false; g.num_vertices()];
+            let mut frontier: Vec<VertexId> = pool[..b].to_vec();
+            for h in 1..=fanouts.num_hops() {
+                let f = fanouts.hop(h);
+                let mut next: Vec<VertexId> = Vec::new();
+                for &v in &frontier {
+                    spp_sampler::sample::sample_neighbors(&g, v, f, &mut rng, &mut scratch);
+                    next.extend_from_slice(&scratch);
+                }
+                next.sort_unstable();
+                next.dedup();
+                for &u in &next {
+                    included[u as usize] = true;
+                }
+                frontier = next;
+            }
+            for (v, &inc) in included.iter().enumerate() {
+                if inc {
+                    counts[v] += 1;
+                }
+            }
+        }
+        for v in 0..g.num_vertices() {
+            let a = analytic[v];
+            let emp = counts[v] as f64 / trials as f64;
+            let sigma = (a * (1.0 - a) / trials as f64).sqrt().max(1e-3);
+            assert!(
+                (emp - a).abs() < 5.0 * sigma + 0.02,
+                "vertex {v}: empirical {emp:.4} vs analytic {a:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_scores_shape() {
+        let g = complete(10);
+        let model = VipModel::new(Fanouts::new(vec![2]), 2);
+        let parts = vec![vec![0, 1, 2], vec![5, 6]];
+        let s = model.partition_scores(&g, &parts);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].len(), 10);
+        // Partition 0's VIP of vertex 9 reflects reachability from {0,1,2}.
+        assert!(s[0][9] > 0.0);
+    }
+
+    #[test]
+    fn high_degree_hub_gets_high_vip() {
+        let g = star(50);
+        let train: Vec<VertexId> = (1..30).collect();
+        let p = VipModel::new(Fanouts::new(vec![5, 5]), 8).scores(&g, &train);
+        // Center is sampled by every minibatch vertex with prob 1.
+        assert!(p[0] > 0.99);
+        // A random leaf is reached only via the center's fanout.
+        assert!(p[40] < p[0]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Single-machine minibatch training and inference.
+//!
+//! This is the reference (non-distributed) training loop: the distributed
+//! engine in `spp-runtime` must produce the same gathered features and
+//! gradients; integration tests compare against this implementation.
+
+use crate::metrics::{predictions, AccuracyMeter};
+use crate::{Arch, GnnModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_graph::{Dataset, VertexId};
+use spp_sampler::{Fanouts, MinibatchIter, Mfg, NodeWiseSampler};
+use spp_tensor::{Adam, Matrix, Optimizer};
+use std::sync::Arc;
+
+/// Hyperparameters for one training run. Defaults mirror the paper's
+/// Table 3 (3-layer GraphSAGE, hidden 256, fanouts (15,10,5), batch 1024,
+/// Adam at 0.001) scaled to the mini datasets.
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    /// Architecture (the paper evaluates GraphSAGE).
+    pub arch: Arch,
+    /// Hidden-layer width.
+    pub hidden_dim: usize,
+    /// Training fanouts; their count sets the number of GNN layers.
+    pub fanouts: Fanouts,
+    /// Inference fanouts (the paper uses (20,20,20) for products/papers).
+    pub eval_fanouts: Fanouts,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Number of training epochs.
+    pub epochs: usize,
+    /// Dropout probability between layers.
+    pub dropout: f32,
+    /// Master seed for init, shuffling, and sampling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            arch: Arch::Sage,
+            hidden_dim: 64,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            eval_fanouts: Fanouts::new(vec![20, 20, 20]),
+            batch_size: 1024,
+            lr: 0.001,
+            epochs: 10,
+            dropout: 0.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Loss statistics for one epoch.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Mean minibatch loss.
+    pub loss: f64,
+    /// Number of minibatches.
+    pub batches: usize,
+}
+
+/// Outcome of a training run.
+#[derive(Clone, Debug)]
+pub struct TrainReport {
+    /// Per-epoch loss curve.
+    pub epochs: Vec<EpochStats>,
+    /// Final validation accuracy (minibatch inference).
+    pub val_accuracy: f64,
+    /// Final test accuracy (minibatch inference).
+    pub test_accuracy: f64,
+}
+
+/// Trains a [`GnnModel`] on a [`Dataset`] with node-wise sampling.
+///
+/// # Example
+///
+/// ```
+/// use spp_gnn::{Trainer, TrainConfig, Arch};
+/// use spp_graph::dataset::SyntheticSpec;
+/// use spp_sampler::Fanouts;
+///
+/// let ds = SyntheticSpec::new("tiny", 300, 8.0, 8, 3)
+///     .split_fractions(0.3, 0.2, 0.2).seed(1).build();
+/// let cfg = TrainConfig {
+///     hidden_dim: 16,
+///     fanouts: Fanouts::new(vec![5, 5]),
+///     eval_fanouts: Fanouts::new(vec![5, 5]),
+///     batch_size: 32,
+///     lr: 0.01,
+///     epochs: 2,
+///     ..TrainConfig::default()
+/// };
+/// let mut t = Trainer::new(&ds, cfg);
+/// let report = t.train();
+/// assert_eq!(report.epochs.len(), 2);
+/// ```
+pub struct Trainer<'a> {
+    ds: &'a Dataset,
+    cfg: TrainConfig,
+    model: GnnModel,
+}
+
+impl<'a> Trainer<'a> {
+    /// Builds a trainer; model dims are
+    /// `[feature_dim, hidden × (L-1), num_classes]`.
+    pub fn new(ds: &'a Dataset, cfg: TrainConfig) -> Self {
+        let l = cfg.fanouts.num_hops();
+        let mut dims = vec![ds.features.dim()];
+        dims.extend(std::iter::repeat_n(cfg.hidden_dim, l - 1));
+        dims.push(ds.num_classes);
+        let model = GnnModel::new(cfg.arch, &dims, cfg.seed).with_dropout(cfg.dropout);
+        Self { ds, cfg, model }
+    }
+
+    /// The model (e.g. for inspection after training).
+    pub fn model(&self) -> &GnnModel {
+        &self.model
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TrainConfig {
+        &self.cfg
+    }
+
+    /// Gathers feature rows for an MFG's node list into a dense matrix.
+    pub fn gather_features(ds: &Dataset, mfg: &Mfg) -> Matrix {
+        let f = ds.features.gather(&mfg.nodes);
+        Matrix::from_flat(mfg.num_nodes(), ds.features.dim(), f.as_flat().to_vec())
+    }
+
+    /// Runs the full training loop, then evaluates on val and test.
+    pub fn train(&mut self) -> TrainReport {
+        let mut opt = Adam::new(self.cfg.lr);
+        let mut epochs = Vec::with_capacity(self.cfg.epochs);
+        for epoch in 0..self.cfg.epochs {
+            let stats = self.train_epoch(&mut opt, epoch as u64);
+            epochs.push(EpochStats {
+                epoch,
+                ..stats
+            });
+        }
+        let val_accuracy = self.evaluate(&self.ds.split.val, 10_007);
+        let test_accuracy = self.evaluate(&self.ds.split.test, 10_009);
+        TrainReport {
+            epochs,
+            val_accuracy,
+            test_accuracy,
+        }
+    }
+
+    /// Runs one epoch of minibatch SGD; returns loss stats.
+    pub fn train_epoch(&mut self, opt: &mut Adam, epoch: u64) -> EpochStats {
+        let sampler = NodeWiseSampler::new(&self.ds.graph, self.cfg.fanouts.clone());
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(epoch).wrapping_mul(31));
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        for batch in MinibatchIter::new(
+            &self.ds.split.train,
+            self.cfg.batch_size,
+            self.cfg.seed,
+            epoch,
+        ) {
+            let mfg = sampler.sample(&batch, &mut rng);
+            let x = Self::gather_features(self.ds, &mfg);
+            let labels: Arc<Vec<u32>> = Arc::new(
+                mfg.seeds()
+                    .iter()
+                    .map(|&v| self.ds.labels[v as usize])
+                    .collect(),
+            );
+            let mut fwd = self.model.forward(x, &mfg, true, &mut rng);
+            let loss = fwd.tape.softmax_cross_entropy(fwd.logits, labels);
+            total_loss += fwd.tape.value(loss).get(0, 0) as f64;
+            fwd.tape.backward(loss);
+            self.model.accumulate_grads(&fwd);
+            let mut params = self.model.params_mut();
+            opt.step(&mut params);
+            batches += 1;
+        }
+        EpochStats {
+            epoch: epoch as usize,
+            loss: if batches > 0 {
+                total_loss / batches as f64
+            } else {
+                0.0
+            },
+            batches,
+        }
+    }
+
+    /// Full-batch (no-sampling) inference accuracy over `ids`: one
+    /// layer-wise forward pass over the whole graph, then argmax on the
+    /// requested vertices. Deterministic — the paper's §2.4 alternative
+    /// to sampled minibatch inference.
+    pub fn evaluate_full_batch(&self, ids: &[VertexId]) -> f64 {
+        if ids.is_empty() {
+            return 0.0;
+        }
+        let ds = self.ds;
+        let x = Matrix::from_flat(
+            ds.features.num_rows(),
+            ds.features.dim(),
+            ds.features.as_flat().to_vec(),
+        );
+        let logits = self.model.forward_full_batch(x, &ds.graph);
+        let preds = predictions(&logits);
+        let mut meter = AccuracyMeter::new();
+        let labels: Vec<u32> = ids.iter().map(|&v| ds.labels[v as usize]).collect();
+        let sel: Vec<u32> = ids.iter().map(|&v| preds[v as usize]).collect();
+        meter.update(&sel, &labels);
+        meter.value()
+    }
+
+    /// Minibatch inference accuracy over `ids` using the eval fanouts.
+    pub fn evaluate(&self, ids: &[VertexId], seed: u64) -> f64 {
+        let sampler = NodeWiseSampler::new(&self.ds.graph, self.cfg.eval_fanouts.clone());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut meter = AccuracyMeter::new();
+        for batch in MinibatchIter::new(ids, self.cfg.batch_size, seed, 0) {
+            let mfg = sampler.sample(&batch, &mut rng);
+            let x = Self::gather_features(self.ds, &mfg);
+            let fwd = self.model.forward(x, &mfg, false, &mut rng);
+            let preds = predictions(fwd.logits_value());
+            let labels: Vec<u32> = mfg
+                .seeds()
+                .iter()
+                .map(|&v| self.ds.labels[v as usize])
+                .collect();
+            meter.update(&preds, &labels);
+        }
+        meter.value()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_graph::dataset::SyntheticSpec;
+
+    fn tiny_config(epochs: usize) -> TrainConfig {
+        TrainConfig {
+            hidden_dim: 16,
+            fanouts: Fanouts::new(vec![5, 5]),
+            eval_fanouts: Fanouts::new(vec![8, 8]),
+            batch_size: 32,
+            lr: 0.01,
+            epochs,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let ds = SyntheticSpec::new("t", 400, 10.0, 8, 4)
+            .split_fractions(0.4, 0.1, 0.1)
+            .feature_signal(1.5)
+            .seed(2)
+            .build();
+        let mut t = Trainer::new(&ds, tiny_config(5));
+        let report = t.train();
+        let first = report.epochs.first().unwrap().loss;
+        let last = report.epochs.last().unwrap().loss;
+        assert!(last < first, "loss {first} -> {last} did not decrease");
+    }
+
+    #[test]
+    fn learns_separable_classes() {
+        let ds = SyntheticSpec::new("t", 600, 12.0, 16, 3)
+            .split_fractions(0.5, 0.2, 0.2)
+            .feature_signal(2.0)
+            .homophily(0.9)
+            .seed(3)
+            .build();
+        let mut t = Trainer::new(&ds, tiny_config(8));
+        let report = t.train();
+        assert!(
+            report.test_accuracy > 0.8,
+            "test accuracy {} too low for an easy dataset",
+            report.test_accuracy
+        );
+    }
+
+    #[test]
+    fn full_batch_inference_agrees_with_sampled() {
+        // The paper (following SALIENT) argues sampled inference with
+        // reasonable fanouts matches full-batch accuracy.
+        let ds = SyntheticSpec::new("t", 500, 10.0, 12, 3)
+            .split_fractions(0.4, 0.2, 0.2)
+            .feature_signal(2.0)
+            .homophily(0.9)
+            .seed(6)
+            .build();
+        let mut t = Trainer::new(&ds, tiny_config(6));
+        let report = t.train();
+        let full = t.evaluate_full_batch(&ds.split.test);
+        assert!(
+            (full - report.test_accuracy).abs() < 0.08,
+            "full-batch {full:.3} vs sampled {:.3}",
+            report.test_accuracy
+        );
+        assert!(full > 0.8, "full-batch accuracy {full:.3}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let ds = SyntheticSpec::new("t", 300, 8.0, 8, 3)
+            .split_fractions(0.3, 0.2, 0.2)
+            .seed(4)
+            .build();
+        let r1 = Trainer::new(&ds, tiny_config(2)).train();
+        let r2 = Trainer::new(&ds, tiny_config(2)).train();
+        assert_eq!(r1.epochs, r2.epochs);
+        assert_eq!(r1.test_accuracy, r2.test_accuracy);
+    }
+
+    #[test]
+    fn evaluate_on_empty_ids_is_zero() {
+        let ds = SyntheticSpec::new("t", 100, 6.0, 4, 2).seed(5).build();
+        let t = Trainer::new(&ds, tiny_config(1));
+        assert_eq!(t.evaluate(&[], 0), 0.0);
+    }
+}

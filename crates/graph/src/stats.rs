@@ -1,0 +1,143 @@
+//! Graph statistics: the structural properties that drive the paper's
+//! results (degree skew, locality) summarized for datasets and harness
+//! output.
+
+use crate::CsrGraph;
+
+/// Summary statistics of a graph's degree distribution and structure.
+///
+/// # Example
+///
+/// ```
+/// use spp_graph::generate::star;
+/// use spp_graph::stats::GraphStats;
+///
+/// let s = GraphStats::compute(&star(100));
+/// assert_eq!(s.max_degree, 99);
+/// assert_eq!(s.median_degree, 1);
+/// assert!(s.degree_gini > 0.4); // maximally hub-centric
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Vertex count.
+    pub num_vertices: usize,
+    /// Undirected edge count (directed / 2 for symmetric graphs).
+    pub num_edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Median degree.
+    pub median_degree: usize,
+    /// 99th-percentile degree.
+    pub p99_degree: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Gini coefficient of the degree distribution (0 = uniform,
+    /// → 1 = all edges on one vertex). Citation graphs sit around 0.5–0.7.
+    pub degree_gini: f64,
+    /// Share of all edge endpoints held by the top 1% of vertices.
+    pub top1pct_degree_share: f64,
+    /// Number of connected components.
+    pub components: usize,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn compute(graph: &CsrGraph) -> Self {
+        let n = graph.num_vertices();
+        let mut degs: Vec<usize> = (0..n).map(|v| graph.degree(v as u32)).collect();
+        degs.sort_unstable();
+        let total: usize = degs.iter().sum();
+        let median_degree = if n == 0 { 0 } else { degs[n / 2] };
+        let p99_degree = if n == 0 { 0 } else { degs[(n * 99 / 100).min(n - 1)] };
+        let max_degree = degs.last().copied().unwrap_or(0);
+
+        // Gini via the sorted-degree formula:
+        // G = (2·Σ i·d_i) / (n·Σ d_i) − (n+1)/n, with i 1-indexed ascending.
+        let degree_gini = if n == 0 || total == 0 {
+            0.0
+        } else {
+            let weighted: f64 = degs
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| (i + 1) as f64 * d as f64)
+                .sum();
+            (2.0 * weighted) / (n as f64 * total as f64) - (n as f64 + 1.0) / n as f64
+        };
+        let top = (n / 100).max(1);
+        let top_share: usize = degs.iter().rev().take(top).sum();
+        Self {
+            num_vertices: n,
+            num_edges: graph.num_edges() / 2,
+            mean_degree: graph.mean_degree(),
+            median_degree,
+            p99_degree,
+            max_degree,
+            degree_gini,
+            top1pct_degree_share: if total == 0 {
+                0.0
+            } else {
+                top_share as f64 / total as f64
+            },
+            components: graph.num_components(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} vertices, {} edges, degree mean {:.1} / median {} / p99 {} / max {}, \
+             gini {:.2}, top-1% share {:.0}%, {} components",
+            self.num_vertices,
+            self.num_edges,
+            self.mean_degree,
+            self.median_degree,
+            self.p99_degree,
+            self.max_degree,
+            self.degree_gini,
+            100.0 * self.top1pct_degree_share,
+            self.components
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{citation_graph, complete, star};
+
+    #[test]
+    fn uniform_graph_has_low_gini() {
+        let s = GraphStats::compute(&complete(20));
+        assert_eq!(s.median_degree, 19);
+        assert_eq!(s.max_degree, 19);
+        assert!(s.degree_gini.abs() < 1e-9, "gini {}", s.degree_gini);
+        assert_eq!(s.components, 1);
+    }
+
+    #[test]
+    fn star_graph_is_maximally_skewed() {
+        let s = GraphStats::compute(&star(1000));
+        assert_eq!(s.median_degree, 1);
+        assert_eq!(s.max_degree, 999);
+        assert!(s.degree_gini > 0.45, "gini {}", s.degree_gini);
+        assert!(s.top1pct_degree_share > 0.45);
+    }
+
+    #[test]
+    fn citation_graph_is_citation_like() {
+        let g = citation_graph(5_000, 50_000, 16, 0.93, 1.2, 3);
+        let s = GraphStats::compute(&g);
+        assert!(s.median_degree < (s.mean_degree as usize).max(1));
+        assert!(s.degree_gini > 0.4 && s.degree_gini < 0.95, "gini {}", s.degree_gini);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn empty_graph_is_safe() {
+        let s = GraphStats::compute(&CsrGraph::empty(0));
+        assert_eq!(s.degree_gini, 0.0);
+        assert_eq!(s.top1pct_degree_share, 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use spp_graph::{CsrGraph, GraphBuilder, Permutation};
+
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n as u32, 0..n as u32), 0..200);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, edges: &[(u32, u32)]) -> CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(s, d) in edges {
+        b.add_edge(s, d);
+    }
+    b.build()
+}
+
+proptest! {
+    #[test]
+    fn csr_neighbors_sorted_unique_no_self_loops((n, edges) in arb_edges(64)) {
+        let g = build(n, &edges);
+        for v in 0..n as u32 {
+            let neigh = g.neighbors(v);
+            prop_assert!(neigh.windows(2).all(|w| w[0] < w[1]), "sorted+unique");
+            prop_assert!(!neigh.contains(&v), "no self loop");
+        }
+    }
+
+    #[test]
+    fn csr_edge_membership_matches_input((n, edges) in arb_edges(64)) {
+        let g = build(n, &edges);
+        for &(s, d) in &edges {
+            if s != d {
+                prop_assert!(g.has_edge(s, d));
+            }
+        }
+        prop_assert!(g.num_edges() <= edges.len());
+    }
+
+    #[test]
+    fn symmetrize_produces_symmetric_graph((n, edges) in arb_edges(64)) {
+        let mut b = GraphBuilder::new(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        b.symmetrize();
+        let g = b.build();
+        prop_assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn transpose_is_involution((n, edges) in arb_edges(64)) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.transpose().transpose(), g);
+    }
+
+    #[test]
+    fn permutation_roundtrip_preserves_graph(
+        (n, edges) in arb_edges(48),
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &edges);
+        // Derive a pseudo-random permutation from the seed.
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut s = seed.wrapping_add(1);
+        for i in (1..n).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let p = Permutation::from_forward(order);
+        let gp = p.apply_to_graph(&g);
+        let back = p.inverse().apply_to_graph(&gp);
+        prop_assert_eq!(back, g.clone());
+        // Degrees preserved under relabeling.
+        for v in 0..n as u32 {
+            prop_assert_eq!(g.degree(v), gp.degree(p.to_new(v)));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_triangle_rule((n, edges) in arb_edges(48)) {
+        let mut b = GraphBuilder::new(n);
+        for &(s, d) in &edges {
+            b.add_edge(s, d);
+        }
+        b.symmetrize();
+        let g = b.build();
+        let dist = g.bfs_distances(0);
+        // Adjacent vertices differ by at most 1 in distance.
+        for (v, u) in g.edges() {
+            let (dv, du) = (dist[v as usize], dist[u as usize]);
+            if dv != usize::MAX && du != usize::MAX {
+                prop_assert!(dv.abs_diff(du) <= 1);
+            } else {
+                prop_assert_eq!(dv, du, "reachability must agree across an edge");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fuzz the dataset loader: arbitrary bytes must never panic — they
+    /// either parse (vanishingly unlikely) or produce a clean error.
+    #[test]
+    fn dataset_loader_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let path = std::env::temp_dir().join(format!(
+            "spp-fuzz-{}-{}",
+            std::process::id(),
+            bytes.len()
+        ));
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = spp_graph::Dataset::load(&path);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Same, but starting from a VALID file with one corrupted byte.
+    #[test]
+    fn dataset_loader_survives_single_byte_corruption(
+        pos_frac in 0.0f64..1.0,
+        value in any::<u8>(),
+    ) {
+        use spp_graph::dataset::SyntheticSpec;
+        let ds = SyntheticSpec::new("fz", 60, 4.0, 3, 2).seed(9).build();
+        let path = std::env::temp_dir().join(format!(
+            "spp-fuzz2-{}-{}",
+            std::process::id(),
+            (pos_frac * 1e6) as u64
+        ));
+        ds.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let idx = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[idx] = value;
+        std::fs::write(&path, &bytes).unwrap();
+        let _ = spp_graph::Dataset::load(&path); // must not panic
+        std::fs::remove_file(&path).ok();
+    }
+}

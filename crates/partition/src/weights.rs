@@ -1,0 +1,106 @@
+//! Multi-constraint vertex weights.
+
+use spp_graph::{CsrGraph, Dataset, VertexId};
+
+/// Number of balance constraints: overall vertices, training vertices,
+/// validation vertices, and edges (degree).
+pub const NUM_CONSTRAINTS: usize = 4;
+
+/// Per-vertex weight vectors for multi-constraint balancing, matching the
+/// paper's METIS configuration: each partition should hold roughly equal
+/// shares of (a) all vertices, (b) training vertices, (c) validation
+/// vertices, and (d) edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VertexWeights {
+    w: Vec<[u64; NUM_CONSTRAINTS]>,
+}
+
+impl VertexWeights {
+    /// Weights for a bare graph: every vertex counts 1 toward the overall
+    /// constraint, 0 toward train/val, and its degree toward edges.
+    pub fn uniform(graph: &CsrGraph) -> Self {
+        let w = (0..graph.num_vertices())
+            .map(|v| [1, 0, 0, graph.degree(v as VertexId) as u64])
+            .collect();
+        Self { w }
+    }
+
+    /// Weights from a dataset's splits: train/val membership becomes
+    /// constraints 1 and 2.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        let mut this = Self::uniform(&ds.graph);
+        for &v in &ds.split.train {
+            this.w[v as usize][1] = 1;
+        }
+        for &v in &ds.split.val {
+            this.w[v as usize][2] = 1;
+        }
+        this
+    }
+
+    /// Builds from explicit per-vertex weight vectors.
+    pub fn from_raw(w: Vec<[u64; NUM_CONSTRAINTS]>) -> Self {
+        Self { w }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// True if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Weight vector of a vertex.
+    #[inline]
+    pub fn of(&self, v: VertexId) -> &[u64; NUM_CONSTRAINTS] {
+        &self.w[v as usize]
+    }
+
+    /// The raw weight array.
+    pub fn as_slice(&self) -> &[[u64; NUM_CONSTRAINTS]] {
+        &self.w
+    }
+
+    /// Sum of all weight vectors.
+    pub fn totals(&self) -> [u64; NUM_CONSTRAINTS] {
+        let mut t = [0u64; NUM_CONSTRAINTS];
+        for w in &self.w {
+            for c in 0..NUM_CONSTRAINTS {
+                t[c] += w[c];
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spp_graph::dataset::SyntheticSpec;
+    use spp_graph::generate::complete;
+
+    #[test]
+    fn uniform_weights() {
+        let g = complete(4);
+        let w = VertexWeights::uniform(&g);
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.of(0), &[1, 0, 0, 3]);
+        assert_eq!(w.totals(), [4, 0, 0, 12]);
+    }
+
+    #[test]
+    fn dataset_weights_mark_splits() {
+        let ds = SyntheticSpec::new("t", 100, 6.0, 4, 2)
+            .split_fractions(0.2, 0.1, 0.1)
+            .seed(1)
+            .build();
+        let w = VertexWeights::from_dataset(&ds);
+        let t = w.totals();
+        assert_eq!(t[1] as usize, ds.split.train.len());
+        assert_eq!(t[2] as usize, ds.split.val.len());
+        assert_eq!(t[0] as usize, 100);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based tests for partitioning.
+
+use proptest::prelude::*;
+use spp_graph::generate::GeneratorConfig;
+use spp_partition::multilevel::MultilevelPartitioner;
+use spp_partition::{metrics, simple, VertexWeights};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multilevel_outputs_are_valid_and_balanced(
+        n in 64usize..400,
+        m in 100usize..1500,
+        k in 2usize..6,
+        seed in 0u64..200,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let w = VertexWeights::uniform(&g);
+        let p = MultilevelPartitioner::new(k).seed(seed).partition(&g, &w);
+        prop_assert_eq!(p.num_vertices(), n);
+        prop_assert_eq!(p.num_parts(), k);
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+        // Vertex-count balance within tolerance + one-vertex slack.
+        let imb = metrics::imbalance(&p, &w);
+        let limit = 1.05 + (k as f64) / (n as f64) * 2.0 + 0.15;
+        prop_assert!(imb[0] <= limit, "imbalance {} > {limit}", imb[0]);
+    }
+
+    #[test]
+    fn multilevel_beats_random_on_community_graphs(
+        blocks in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let n = 600;
+        let g = GeneratorConfig::planted_partition(n, 6 * n, blocks, 0.93)
+            .seed(seed)
+            .build();
+        let w = VertexWeights::uniform(&g);
+        let ml = MultilevelPartitioner::new(blocks).seed(seed).partition(&g, &w);
+        let rnd = simple::random_partition(n, blocks, seed);
+        let cut_ml = metrics::edge_cut_fraction(&g, &ml);
+        let cut_rnd = metrics::edge_cut_fraction(&g, &rnd);
+        prop_assert!(
+            cut_ml < cut_rnd,
+            "multilevel {cut_ml:.3} should beat random {cut_rnd:.3}"
+        );
+    }
+
+    #[test]
+    fn halo_members_are_remote_and_adjacent(
+        n in 32usize..200,
+        m in 50usize..600,
+        k in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let p = simple::hash_partition(n, k);
+        let halos = metrics::one_hop_halos(&g, &p);
+        for (part, halo) in halos.iter().enumerate() {
+            for &v in halo {
+                prop_assert!(p.part_of(v) != part as u32, "halo vertex is local");
+                // Must be adjacent to some vertex of `part`.
+                let touches = g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&u| p.part_of(u) == part as u32);
+                prop_assert!(touches, "halo vertex {v} not adjacent to part {part}");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_cut_between_zero_and_all(
+        n in 16usize..128,
+        m in 10usize..400,
+        k in 1usize..5,
+        seed in 0u64..100,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let p = simple::random_partition(n, k, seed);
+        let frac = metrics::edge_cut_fraction(&g, &p);
+        prop_assert!((0.0..=1.0).contains(&frac));
+        if k == 1 {
+            prop_assert_eq!(frac, 0.0);
+        }
+    }
+}

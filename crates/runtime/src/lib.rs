@@ -1,0 +1,39 @@
+//! The SALIENT++ distributed training runtime.
+//!
+//! Ties every substrate together:
+//!
+//! - [`setup`] — builds a distributed deployment from a dataset: METIS-style
+//!   partitioning, per-partition VIP analysis, two-level reordering,
+//!   VIP-ranked caches, and per-machine feature stores.
+//! - [`volume`] — measures per-epoch remote communication volume for any
+//!   caching policy (the Figure 2 experiment), by counting real sampled
+//!   accesses.
+//! - [`cost`] — the machine cost model (CPU sampling, feature slicing,
+//!   PCIe transfers, GPU compute, NIC) used by timing simulations.
+//! - [`systems`] — per-epoch time estimation via discrete-event simulation
+//!   for the paper's system ladder: SALIENT full replication → partitioned
+//!   features → pipelined communication → VIP caching (Table 1, Figures
+//!   4–9), plus a DistDGL-like synchronous baseline (Table 4).
+//! - [`engine`] — correctness-grade distributed training on real threads
+//!   with all-to-all feature exchange and gradient averaging; verifies
+//!   that partitioned+cached execution matches single-machine training.
+
+// Index-based loops over multiple parallel arrays are used deliberately
+// throughout (CSR sweeps, per-partition load vectors); iterator zips would
+// obscure which array drives the bound.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cost;
+pub mod engine;
+pub mod pipeline;
+pub mod setup;
+pub mod systems;
+pub mod volume;
+pub mod workload;
+
+pub use cost::CostModel;
+pub use engine::{DistTrainConfig, DistributedTrainReport, DistributedTrainer};
+pub use pipeline::{PipelineEpoch, PipelineSim, StageBusy};
+pub use setup::{DistributedSetup, SetupConfig};
+pub use systems::{EpochSim, EpochTime, SystemSpec};
+pub use volume::{AccessCounts, CommVolume};

@@ -1,0 +1,192 @@
+//! Fast vertex deduplication for neighborhood expansion.
+
+use spp_graph::VertexId;
+
+/// An open-addressing hash map from global vertex ids to dense local ids,
+/// specialized for the sampler's hot loop.
+///
+/// SALIENT's `fast_sampler` performance-engineers exactly this step: for
+/// every sampled neighbor we must answer "have we seen this vertex, and if
+/// so what's its local index?". A general-purpose `HashMap` pays SipHash
+/// and `Option` overhead; this table uses a multiplicative hash with linear
+/// probing and stores entries in flat arrays.
+///
+/// # Example
+///
+/// ```
+/// use spp_sampler::VertexIndexer;
+///
+/// let mut idx = VertexIndexer::with_capacity(8);
+/// assert_eq!(idx.insert(42), 0);
+/// assert_eq!(idx.insert(7), 1);
+/// assert_eq!(idx.insert(42), 0); // already present
+/// assert_eq!(idx.len(), 2);
+/// assert_eq!(idx.nodes(), &[42, 7]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct VertexIndexer {
+    /// Probe table storing `local_id + 1` (0 = empty slot).
+    slots: Vec<u32>,
+    /// Dense list of inserted global vertex ids, in insertion order.
+    nodes: Vec<VertexId>,
+    mask: usize,
+}
+
+const EMPTY: u32 = 0;
+
+impl VertexIndexer {
+    /// Creates an indexer sized for roughly `expected` distinct vertices.
+    pub fn with_capacity(expected: usize) -> Self {
+        // Load factor <= 0.5.
+        let cap = (expected.max(4) * 2).next_power_of_two();
+        Self {
+            slots: vec![EMPTY; cap],
+            nodes: Vec::with_capacity(expected),
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn hash(v: VertexId) -> usize {
+        // Fibonacci hashing: odd multiplicative constant, high bits spread.
+        (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize
+    }
+
+    /// Inserts `v` if absent; returns its dense local id either way.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> u32 {
+        if self.nodes.len() * 2 >= self.slots.len() {
+            self.grow();
+        }
+        let mut i = Self::hash(v) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                let local = self.nodes.len() as u32;
+                self.slots[i] = local + 1;
+                self.nodes.push(v);
+                return local;
+            }
+            if self.nodes[(s - 1) as usize] == v {
+                return s - 1;
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    /// Looks up `v` without inserting.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<u32> {
+        let mut i = Self::hash(v) & self.mask;
+        loop {
+            let s = self.slots[i];
+            if s == EMPTY {
+                return None;
+            }
+            if self.nodes[(s - 1) as usize] == v {
+                return Some(s - 1);
+            }
+            i = (i + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.slots.len() * 2;
+        self.mask = cap - 1;
+        self.slots = vec![EMPTY; cap];
+        for (local, &v) in self.nodes.iter().enumerate() {
+            let mut i = Self::hash(v) & self.mask;
+            while self.slots[i] != EMPTY {
+                i = (i + 1) & self.mask;
+            }
+            self.slots[i] = local as u32 + 1;
+        }
+    }
+
+    /// Number of distinct vertices inserted.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no vertices have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The dense vertex list, in insertion order (local id = position).
+    pub fn nodes(&self) -> &[VertexId] {
+        &self.nodes
+    }
+
+    /// Consumes the indexer and returns the dense vertex list.
+    pub fn into_nodes(self) -> Vec<VertexId> {
+        self.nodes
+    }
+
+    /// Clears all entries, retaining allocations.
+    pub fn clear(&mut self) {
+        self.slots.fill(EMPTY);
+        self.nodes.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = VertexIndexer::with_capacity(4);
+        assert_eq!(idx.insert(10), 0);
+        assert_eq!(idx.insert(20), 1);
+        assert_eq!(idx.insert(10), 0);
+        assert_eq!(idx.get(20), Some(1));
+        assert_eq!(idx.get(30), None);
+    }
+
+    #[test]
+    fn grows_past_capacity() {
+        let mut idx = VertexIndexer::with_capacity(2);
+        for v in 0..1000u32 {
+            assert_eq!(idx.insert(v * 7), v);
+        }
+        assert_eq!(idx.len(), 1000);
+        for v in 0..1000u32 {
+            assert_eq!(idx.get(v * 7), Some(v));
+        }
+    }
+
+    #[test]
+    fn insertion_order_preserved() {
+        let mut idx = VertexIndexer::with_capacity(4);
+        idx.insert(5);
+        idx.insert(3);
+        idx.insert(9);
+        assert_eq!(idx.nodes(), &[5, 3, 9]);
+    }
+
+    #[test]
+    fn clear_retains_capacity() {
+        let mut idx = VertexIndexer::with_capacity(4);
+        idx.insert(1);
+        idx.insert(2);
+        idx.clear();
+        assert!(idx.is_empty());
+        assert_eq!(idx.get(1), None);
+        assert_eq!(idx.insert(3), 0);
+    }
+
+    #[test]
+    fn colliding_keys_resolve() {
+        // Keys chosen to collide in a tiny table; correctness must not
+        // depend on hash spread.
+        let mut idx = VertexIndexer::with_capacity(4);
+        let keys = [0u32, 8, 16, 24, 32, 40];
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(idx.insert(k), i as u32);
+        }
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(idx.get(k), Some(i as u32));
+        }
+    }
+}

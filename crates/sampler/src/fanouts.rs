@@ -1,0 +1,132 @@
+//! Per-hop fanout configuration.
+
+/// Per-hop sampling fanouts, ordered from the seed minibatch outward:
+/// `fanouts.hop(1)` is the number of neighbors sampled for each seed.
+///
+/// The paper writes fanouts as tuples like `(15, 10, 5)` for a 3-layer
+/// GraphSAGE model: hop 1 samples 15, hop 2 samples 10, hop 3 samples 5.
+///
+/// # Example
+///
+/// ```
+/// use spp_sampler::Fanouts;
+///
+/// let f = Fanouts::new(vec![15, 10, 5]);
+/// assert_eq!(f.num_hops(), 3);
+/// assert_eq!(f.hop(1), 15);
+/// assert_eq!(f.hop(3), 5);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Fanouts(Vec<usize>);
+
+impl Fanouts {
+    /// Creates fanouts from a per-hop list (hop 1 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or any fanout is zero.
+    pub fn new(fanouts: Vec<usize>) -> Self {
+        assert!(!fanouts.is_empty(), "need at least one hop");
+        assert!(fanouts.iter().all(|&f| f > 0), "fanouts must be positive");
+        Self(fanouts)
+    }
+
+    /// Uniform fanout `f` for `hops` hops.
+    pub fn uniform(f: usize, hops: usize) -> Self {
+        Self::new(vec![f; hops])
+    }
+
+    /// Number of hops (equals the number of GNN layers).
+    pub fn num_hops(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Fanout at hop `h` (1-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is 0 or greater than [`Fanouts::num_hops`].
+    pub fn hop(&self, h: usize) -> usize {
+        assert!(h >= 1 && h <= self.0.len(), "hop {h} out of range");
+        self.0[h - 1]
+    }
+
+    /// All fanouts as a slice (hop 1 first).
+    pub fn as_slice(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Upper bound on the number of vertices in a sampled neighborhood of a
+    /// minibatch of `batch_size` seeds (full expansion, no dedup).
+    pub fn max_expanded_size(&self, batch_size: usize) -> usize {
+        let mut total = batch_size;
+        let mut frontier = batch_size;
+        for &f in &self.0 {
+            frontier *= f;
+            total += frontier;
+        }
+        total
+    }
+}
+
+impl std::fmt::Display for Fanouts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hop_indexing() {
+        let f = Fanouts::new(vec![15, 10, 5]);
+        assert_eq!(f.hop(1), 15);
+        assert_eq!(f.hop(2), 10);
+        assert_eq!(f.hop(3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "hop 4 out of range")]
+    fn hop_out_of_range() {
+        Fanouts::new(vec![15, 10, 5]).hop(4);
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one hop")]
+    fn empty_rejected() {
+        Fanouts::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fanouts must be positive")]
+    fn zero_fanout_rejected() {
+        Fanouts::new(vec![5, 0]);
+    }
+
+    #[test]
+    fn uniform_builder() {
+        let f = Fanouts::uniform(5, 3);
+        assert_eq!(f.as_slice(), &[5, 5, 5]);
+    }
+
+    #[test]
+    fn max_expanded_size_counts_all_layers() {
+        let f = Fanouts::new(vec![2, 3]);
+        // 4 seeds + 8 hop-1 + 24 hop-2 = 36
+        assert_eq!(f.max_expanded_size(4), 36);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(format!("{}", Fanouts::new(vec![15, 10, 5])), "(15,10,5)");
+    }
+}

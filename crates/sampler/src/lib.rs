@@ -1,0 +1,37 @@
+//! Node-wise neighborhood sampling for GNN minibatch training.
+//!
+//! Implements the sampling scheme of GraphSAGE (Hamilton et al., 2017) as
+//! used by SALIENT/SALIENT++: starting from a minibatch of seed vertices,
+//! each hop samples up to `fanout[h]` neighbors *without replacement* for
+//! every vertex in the current node set, producing a layered
+//! [message-flow graph](Mfg) (MFG) that the GNN consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use spp_graph::generate::ring_with_chords;
+//! use spp_sampler::{Fanouts, NodeWiseSampler};
+//! use rand::SeedableRng;
+//!
+//! let g = ring_with_chords(32, 5);
+//! let sampler = NodeWiseSampler::new(&g, Fanouts::new(vec![3, 2]));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mfg = sampler.sample(&[0, 1, 2, 3], &mut rng);
+//! assert_eq!(mfg.num_seeds(), 4);
+//! assert_eq!(mfg.num_hops(), 2);
+//! mfg.validate().unwrap();
+//! ```
+
+pub mod batch;
+pub mod dedup;
+pub mod fanouts;
+pub mod layerwise;
+pub mod mfg;
+pub mod weighted;
+pub mod sample;
+
+pub use batch::MinibatchIter;
+pub use dedup::VertexIndexer;
+pub use fanouts::Fanouts;
+pub use mfg::{HopAdj, Mfg};
+pub use sample::NodeWiseSampler;

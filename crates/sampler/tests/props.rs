@@ -1,0 +1,122 @@
+//! Property-based tests for node-wise sampling.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use spp_graph::generate::GeneratorConfig;
+use spp_sampler::layerwise::LayerWiseSampler;
+use spp_sampler::weighted::{EdgeWeights, WeightedNodeWiseSampler};
+use spp_sampler::{Fanouts, MinibatchIter, NodeWiseSampler};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mfg_is_always_valid(
+        n in 8usize..128,
+        m in 1usize..400,
+        f1 in 1usize..8,
+        f2 in 1usize..8,
+        num_seeds in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let sampler = NodeWiseSampler::new(&g, Fanouts::new(vec![f1, f2]));
+        let seeds: Vec<u32> = (0..num_seeds.min(n) as u32).collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 7);
+        let mfg = sampler.sample(&seeds, &mut rng);
+        prop_assert!(mfg.validate().is_ok(), "{:?}", mfg.validate());
+        prop_assert_eq!(mfg.num_seeds(), seeds.len());
+    }
+
+    #[test]
+    fn sampled_neighbors_respect_fanout_and_adjacency(
+        n in 8usize..96,
+        m in 1usize..300,
+        fanout in 1usize..6,
+        seed in 0u64..500,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let sampler = NodeWiseSampler::new(&g, Fanouts::new(vec![fanout]));
+        let seeds: Vec<u32> = vec![0, (n / 2) as u32];
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mfg = sampler.sample(&seeds, &mut rng);
+        let adj = mfg.layer_adj(1);
+        for (t, &seed_v) in mfg.seeds().iter().enumerate() {
+            let sampled = adj.neighbors(t);
+            prop_assert!(sampled.len() <= fanout);
+            prop_assert!(sampled.len() == fanout.min(g.degree(seed_v)));
+            // Every sampled local index maps to a true graph neighbor.
+            let mut seen = std::collections::HashSet::new();
+            for &local in sampled {
+                let global = mfg.nodes[local as usize];
+                prop_assert!(g.has_edge(seed_v, global));
+                prop_assert!(seen.insert(local), "duplicate sampled neighbor");
+            }
+        }
+    }
+
+    #[test]
+    fn minibatch_iter_partitions_ids(
+        len in 0usize..200,
+        batch in 1usize..32,
+        seed in 0u64..100,
+        epoch in 0u64..4,
+    ) {
+        let ids: Vec<u32> = (0..len as u32).map(|v| v * 3).collect();
+        let mut seen: Vec<u32> = MinibatchIter::new(&ids, batch, seed, epoch).flatten().collect();
+        seen.sort_unstable();
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+        // All batches except possibly the last are full.
+        let batches: Vec<_> = MinibatchIter::new(&ids, batch, seed, epoch).collect();
+        for b in batches.iter().take(batches.len().saturating_sub(1)) {
+            prop_assert_eq!(b.len(), batch);
+        }
+    }
+
+    #[test]
+    fn weighted_sampler_mfg_always_valid(
+        n in 8usize..96,
+        m in 1usize..300,
+        f1 in 1usize..6,
+        f2 in 1usize..6,
+        seed in 0u64..300,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        // Degree-derived positive scores.
+        let score: Vec<f32> = (0..n as u32)
+            .map(|v| (g.degree(v) + 1) as f32)
+            .collect();
+        let w = EdgeWeights::from_target_scores(&g, &score);
+        let s = WeightedNodeWiseSampler::new(&g, &w, Fanouts::new(vec![f1, f2]));
+        let mut rng = StdRng::seed_from_u64(seed ^ 11);
+        let mfg = s.sample(&[0, (n / 2) as u32], &mut rng);
+        prop_assert!(mfg.validate().is_ok(), "{:?}", mfg.validate());
+        // Fanout bounds.
+        for (h, adj) in mfg.hops.iter().enumerate() {
+            let f = [f1, f2][h];
+            for t in 0..adj.num_targets {
+                prop_assert!(adj.neighbors(t).len() <= f);
+            }
+        }
+    }
+
+    #[test]
+    fn layerwise_sampler_mfg_always_valid(
+        n in 8usize..96,
+        m in 1usize..300,
+        b1 in 1usize..20,
+        b2 in 1usize..20,
+        seed in 0u64..300,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let s = LayerWiseSampler::new(&g, vec![b1, b2]);
+        let mut rng = StdRng::seed_from_u64(seed ^ 13);
+        let mfg = s.sample(&[0], &mut rng);
+        prop_assert!(mfg.validate().is_ok(), "{:?}", mfg.validate());
+        prop_assert!(mfg.sizes[1] - mfg.sizes[0] <= b1);
+        prop_assert!(mfg.sizes[2] - mfg.sizes[1] <= b2);
+    }
+}

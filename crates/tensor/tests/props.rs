@@ -1,0 +1,90 @@
+//! Property-based tests for the tensor engine.
+
+use proptest::prelude::*;
+use spp_tensor::{Matrix, Tape};
+
+fn arb_matrix(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-5.0f32..5.0, r * c)
+        .prop_map(move |data| Matrix::from_flat(r, c, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(3, 4),
+        b in arb_matrix(4, 2),
+        c in arb_matrix(4, 2),
+    ) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.as_flat().iter().zip(rhs.as_flat()) {
+            prop_assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn transpose_identities(a in arb_matrix(4, 3), b in arb_matrix(3, 5)) {
+        // (AB)^T == B^T A^T
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_flat().iter().zip(rhs.as_flat()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        // t_matmul / matmul_t agree with explicit transposes.
+        let tm = a.t_matmul(&a);
+        let tm_ref = a.transpose().matmul(&a);
+        for (x, y) in tm.as_flat().iter().zip(tm_ref.as_flat()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn relu_output_nonnegative_and_sparse_grad(a in arb_matrix(3, 5)) {
+        let mut tape = Tape::new();
+        let x = tape.input(a.clone());
+        let y = tape.relu(x);
+        prop_assert!(tape.value(y).as_flat().iter().all(|&v| v >= 0.0));
+        let s = tape.mean_all(y);
+        tape.backward(s);
+        let g = tape.grad(x).unwrap();
+        for (gv, &xv) in g.as_flat().iter().zip(a.as_flat()) {
+            if xv < 0.0 {
+                prop_assert_eq!(*gv, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn backward_is_linear_in_scale(a in arb_matrix(2, 3), s in 0.1f32..4.0) {
+        // d(mean(s*x))/dx = s * d(mean(x))/dx
+        let grad_of = |scale: f32| {
+            let mut tape = Tape::new();
+            let x = tape.input(a.clone());
+            let y = tape.scale(x, scale);
+            let m = tape.mean_all(y);
+            tape.backward(m);
+            tape.grad(x).unwrap().clone()
+        };
+        let g1 = grad_of(1.0);
+        let gs = grad_of(s);
+        for (x, y) in g1.as_flat().iter().zip(gs.as_flat()) {
+            prop_assert!((x * s - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn softmax_cross_entropy_nonnegative(
+        logits in arb_matrix(4, 3),
+        labels in prop::collection::vec(0u32..3, 4),
+    ) {
+        let mut tape = Tape::new();
+        let x = tape.input(logits);
+        let l = tape.softmax_cross_entropy(x, std::sync::Arc::new(labels));
+        prop_assert!(tape.value(l).get(0, 0) >= 0.0);
+    }
+}

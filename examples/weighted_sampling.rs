@@ -1,0 +1,116 @@
+//! Beyond uniform GraphSAGE sampling: the paper's Proposition 1 applies
+//! to *any* node-wise transition probabilities. This example biases the
+//! sampler toward high-degree neighbors, feeds the matching transition
+//! matrix to the generalized VIP model, and shows that the resulting
+//! cache ranking outperforms the uniform-model ranking under the biased
+//! workload.
+//!
+//! Run with: `cargo run --release --example weighted_sampling`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use salientpp::core::vip_general::{GeneralVipModel, UniformTransitions, WeightedTransitions};
+use salientpp::prelude::*;
+use spp_sampler::weighted::{EdgeWeights, WeightedNodeWiseSampler};
+
+fn main() {
+    let ds = papers_mini(0.2, 11);
+    let n = ds.num_vertices();
+    let fanouts = Fanouts::new(vec![10, 5]);
+    let batch = 8usize;
+    let k = 4usize;
+
+    // Degree-biased sampling: neighbors are drawn proportionally to
+    // sqrt(degree) — a common importance-sampling heuristic.
+    let score: Vec<f32> = (0..n as u32)
+        .map(|v| (ds.graph.degree(v).max(1) as f32).sqrt())
+        .collect();
+    let weights = EdgeWeights::from_target_scores(&ds.graph, &score);
+
+    // Partition and split the training stream.
+    let cfg = SetupConfig {
+        num_machines: k,
+        fanouts: fanouts.clone(),
+        batch_size: batch,
+        ..SetupConfig::default()
+    };
+    let (part, train) = DistributedSetup::partition(&ds, &cfg);
+
+    // Measure real access counts under the *biased* sampler.
+    let sampler = WeightedNodeWiseSampler::new(&ds.graph, &weights, fanouts.clone());
+    let mut counts = vec![vec![0u64; n]; k];
+    for (m, t) in train.iter().enumerate() {
+        let mut rng = StdRng::seed_from_u64(17 ^ m as u64);
+        for e in 0..2u64 {
+            for b in MinibatchIter::new(t, batch, 17 ^ m as u64, e) {
+                let mfg = sampler.sample(&b, &mut rng);
+                for &v in &mfg.nodes {
+                    counts[m][v as usize] += 1;
+                }
+            }
+        }
+    }
+
+    // Rank remote vertices by (a) the uniform VIP model and (b) the
+    // generalized model with the true weighted transitions.
+    let general = GeneralVipModel::new(fanouts.num_hops());
+    let base = VipModel::new(fanouts.clone(), batch);
+    let volume = |rankings: &[Vec<VertexId>], alpha: f64| -> f64 {
+        let builder = CacheBuilder::new(alpha, n, k);
+        (0..k)
+            .map(|m| {
+                let cache = builder.build(&rankings[m]);
+                counts[m]
+                    .iter()
+                    .enumerate()
+                    .filter(|&(v, _)| {
+                        part.part_of(v as VertexId) != m as u32
+                            && !cache.contains(v as VertexId)
+                    })
+                    .map(|(_, &c)| c as f64)
+                    .sum::<f64>()
+                    / 2.0
+            })
+            .sum()
+    };
+    let rank_with = |scores_of: &dyn Fn(usize) -> Vec<f64>| -> Vec<Vec<VertexId>> {
+        (0..k)
+            .map(|m| {
+                let s = scores_of(m);
+                let mut remote: Vec<VertexId> = (0..n as u32)
+                    .filter(|&v| part.part_of(v) != m as u32 && s[v as usize] > 0.0)
+                    .collect();
+                remote.sort_by(|&a, &b| {
+                    s[b as usize].partial_cmp(&s[a as usize]).unwrap().then(a.cmp(&b))
+                });
+                remote
+            })
+            .collect()
+    };
+
+    let uniform_ranks = rank_with(&|m| {
+        let p0 = base.initial_probabilities(n, &train[m]);
+        general.scores(&ds.graph, &UniformTransitions::new(fanouts.clone()), &p0)
+    });
+    let weighted_ranks = rank_with(&|m| {
+        let p0 = base.initial_probabilities(n, &train[m]);
+        general.scores(
+            &ds.graph,
+            &WeightedTransitions::new(&weights, fanouts.clone()),
+            &p0,
+        )
+    });
+
+    println!("degree-biased sampling on {} ({} vertices, {k} machines)\n", ds.name, n);
+    println!("{:<26} {:>12} {:>12}", "cache ranking model", "a=0.10", "a=0.30");
+    for (name, ranks) in [("uniform-model VIP", &uniform_ranks), ("weighted-model VIP", &weighted_ranks)] {
+        println!(
+            "{:<26} {:>12.0} {:>12.0}",
+            name,
+            volume(ranks, 0.10),
+            volume(ranks, 0.30)
+        );
+    }
+    println!("\n(remote vertices/epoch under the biased sampler; lower is better —");
+    println!(" modeling the actual transition probabilities should win)");
+}

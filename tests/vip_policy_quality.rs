@@ -1,0 +1,131 @@
+//! Integration tests for the headline Figure 2 claims: the analytic VIP
+//! caching policy reduces measured communication volume, tracks the
+//! oracle closely, and beats structure-only heuristics.
+
+use salientpp::prelude::*;
+use spp_core::policies::PolicyContext;
+use spp_core::StaticCache;
+
+struct Fixture {
+    ds: Dataset,
+    partitioning: Partitioning,
+    train: Vec<Vec<VertexId>>,
+    counts: AccessCounts,
+    fanouts: Fanouts,
+}
+
+fn fixture() -> Fixture {
+    let ds = SyntheticSpec::new("fig2-int", 20_000, 20.0, 16, 16)
+        .split_fractions(0.011, 0.001, 0.002)
+        .homophily(0.93)
+        .degree_tail(1.2)
+        .seed(5)
+        .build();
+    let fanouts = Fanouts::new(vec![10, 10]);
+    let cfg = SetupConfig {
+        num_machines: 4,
+        fanouts: fanouts.clone(),
+        batch_size: 8,
+        ..SetupConfig::default()
+    };
+    let (partitioning, train) = DistributedSetup::partition(&ds, &cfg);
+    let counts = AccessCounts::measure(&ds.graph, &train, &fanouts, 8, 2, 3);
+    Fixture {
+        ds,
+        partitioning,
+        train,
+        counts,
+        fanouts,
+    }
+}
+
+fn volume_of(f: &Fixture, policy: CachePolicy, alpha: f64) -> f64 {
+    let builder = CacheBuilder::new(alpha, f.ds.num_vertices(), 4);
+    let caches: Vec<StaticCache> = (0..4u32)
+        .map(|p| {
+            let ranking = if policy == CachePolicy::Oracle {
+                f.counts.oracle_ranking(&f.partitioning, p as usize)
+            } else {
+                PolicyContext {
+                    graph: &f.ds.graph,
+                    partitioning: &f.partitioning,
+                    part: p,
+                    local_train: &f.train[p as usize],
+                    fanouts: f.fanouts.clone(),
+                    batch_size: 8,
+                    seed: 17,
+                    oracle_counts: &[],
+                }
+                .rank(policy)
+            };
+            builder.build(&ranking)
+        })
+        .collect();
+    f.counts.total_volume(&f.partitioning, &caches)
+}
+
+#[test]
+fn vip_reduces_communication_substantially() {
+    let f = fixture();
+    let none = f.counts.no_cache_volume(&f.partitioning);
+    let vip = volume_of(&f, CachePolicy::VipAnalytic, 0.5);
+    assert!(
+        none / vip > 1.5,
+        "VIP at a=0.5 should cut volume substantially: {none:.0} -> {vip:.0}"
+    );
+}
+
+#[test]
+fn vip_tracks_oracle() {
+    // The oracle is measured on the evaluation run itself, so with only a
+    // couple of epochs it "overfits" the realized randomness; the paper
+    // reports the same effect (~30% gap at low sample counts, narrowing
+    // with more epochs — §3.2 "Optimality").
+    let f = fixture();
+    let none = f.counts.no_cache_volume(&f.partitioning);
+    for alpha in [0.1, 0.3] {
+        let vip = volume_of(&f, CachePolicy::VipAnalytic, alpha);
+        let oracle = volume_of(&f, CachePolicy::Oracle, alpha);
+        // Compare as a fraction of the no-cache volume: the oracle can
+        // reach exactly zero when it covers the whole (finite) measured
+        // remote set.
+        assert!(
+            vip - oracle <= 0.25 * none,
+            "a={alpha}: VIP {vip:.0} should track oracle {oracle:.0} (no-cache {none:.0})"
+        );
+        assert!(vip >= oracle * 0.999, "oracle is a lower bound");
+    }
+}
+
+#[test]
+fn vip_beats_degree_and_halo_heuristics() {
+    let f = fixture();
+    let vip = volume_of(&f, CachePolicy::VipAnalytic, 0.5);
+    let deg = volume_of(&f, CachePolicy::Degree, 0.5);
+    let halo = volume_of(&f, CachePolicy::OneHopHalo, 0.5);
+    assert!(vip < deg, "VIP {vip:.0} must beat degree {deg:.0}");
+    assert!(vip < halo * 1.02, "VIP {vip:.0} should match/beat 1-hop {halo:.0}");
+}
+
+#[test]
+fn volume_monotone_in_alpha_for_all_policies() {
+    let f = fixture();
+    for policy in [
+        CachePolicy::Degree,
+        CachePolicy::WeightedReversePagerank,
+        CachePolicy::NumPaths,
+        CachePolicy::Simulation,
+        CachePolicy::VipAnalytic,
+        CachePolicy::Oracle,
+    ] {
+        let mut prev = f.counts.no_cache_volume(&f.partitioning);
+        for alpha in [0.1, 0.3, 0.6] {
+            let v = volume_of(&f, policy, alpha);
+            assert!(
+                v <= prev + 1e-9,
+                "{policy:?}: volume must not grow with alpha ({prev:.0} -> {v:.0})"
+            );
+            prev = v;
+        }
+    }
+}
