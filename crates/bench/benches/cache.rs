@@ -1,6 +1,15 @@
 //! Cache-lookup and batch-classification benchmarks — the per-batch hash
 //! lookup SALIENT++ performs for every remote vertex (§4.2).
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

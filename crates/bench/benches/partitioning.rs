@@ -1,6 +1,15 @@
 //! Multilevel-partitioner benchmarks (the paper's METIS preprocessing
 //! step: ~2 h serial on papers100M; ours should be seconds at mini scale).
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spp_bench::papers_sim;
 use spp_partition::multilevel::MultilevelPartitioner;
@@ -13,7 +22,9 @@ fn bench_partition(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("multilevel_k8", |b| {
         b.iter(|| {
-            let p = MultilevelPartitioner::new(8).seed(1).partition(&ds.graph, &w);
+            let p = MultilevelPartitioner::new(8)
+                .seed(1)
+                .partition(&ds.graph, &w);
             black_box(p.sizes())
         })
     });

@@ -1,6 +1,15 @@
 //! Microbenchmarks for the node-wise sampler — the component SALIENT
 //! performance-engineered and SALIENT++ inherits.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -31,7 +40,9 @@ fn bench_sampling(c: &mut Criterion) {
 
 fn bench_indexer(c: &mut Criterion) {
     let mut group = c.benchmark_group("vertex_indexer");
-    let keys: Vec<u32> = (0..100_000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+    let keys: Vec<u32> = (0..100_000u32)
+        .map(|i| i.wrapping_mul(2_654_435_761))
+        .collect();
     group.bench_function("insert_100k", |b| {
         b.iter(|| {
             let mut idx = VertexIndexer::with_capacity(128);

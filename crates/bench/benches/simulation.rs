@@ -1,5 +1,14 @@
 //! Discrete-event engine and end-to-end epoch-simulation benchmarks.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spp_bench::papers_sim;
 use spp_comm::DesEngine;

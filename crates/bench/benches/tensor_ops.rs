@@ -1,6 +1,15 @@
 //! Tensor-engine microbenchmarks: dense matmul, sparse aggregation, and
 //! a full GraphSAGE forward+backward over a realistic MFG.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +32,11 @@ fn bench_matmul(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(1);
     let mut group = c.benchmark_group("matmul");
     group.sample_size(30);
-    for (r, k, cc) in [(1024usize, 64usize, 64usize), (4096, 64, 256), (1024, 256, 256)] {
+    for (r, k, cc) in [
+        (1024usize, 64usize, 64usize),
+        (4096, 64, 256),
+        (1024, 256, 256),
+    ] {
         let a = random_matrix(r, k, &mut rng);
         let b = random_matrix(k, cc, &mut rng);
         group.bench_function(format!("{r}x{k}x{cc}"), |bch| {
@@ -72,13 +85,14 @@ fn bench_training_step(c: &mut Criterion) {
     let mfg = sampler.sample(&seeds, &mut rng);
     let x = Trainer::gather_features(&ds, &mfg);
     let model = GnnModel::new(Arch::Sage, &[ds.features.dim(), 64, ds.num_classes], 1);
-    let labels: Arc<Vec<u32>> = Arc::new(
-        mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect(),
-    );
+    let labels: Arc<Vec<u32>> =
+        Arc::new(mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect());
     c.bench_function("sage_forward_backward_b32", |b| {
         b.iter(|| {
             let mut fwd = model.forward(x.clone(), &mfg, false, &mut rng);
-            let loss = fwd.tape.softmax_cross_entropy(fwd.logits, Arc::clone(&labels));
+            let loss = fwd
+                .tape
+                .softmax_cross_entropy(fwd.logits, Arc::clone(&labels));
             fwd.tape.backward(loss);
             black_box(fwd.tape.grad(fwd.param_nodes[0]).is_some())
         })

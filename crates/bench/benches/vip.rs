@@ -2,6 +2,15 @@
 //! reports the full VIP computation for papers100M takes 11.8 s on their
 //! hardware; the O(L(M+N)) sweep here should scale linearly in edges.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use spp_bench::papers_sim;
 use spp_core::policies::{CachePolicy, PolicyContext};
@@ -16,9 +25,7 @@ fn bench_vip(c: &mut Criterion) {
         let ds = papers_sim(scale, 1);
         let model = VipModel::new(Fanouts::new(vec![15, 10, 5]), 8);
         group.bench_function(format!("scores_n{}", ds.num_vertices()), |b| {
-            b.iter(|| {
-                black_box(model.scores(black_box(&ds.graph), black_box(&ds.split.train)))
-            })
+            b.iter(|| black_box(model.scores(black_box(&ds.graph), black_box(&ds.split.train))))
         });
     }
     group.finish();

@@ -5,10 +5,20 @@
 //! not impact model accuracy — gathered features are bit-identical to
 //! full replication, so accuracy matches the single-machine trainer.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use spp_bench::{Cli, Table};
-use spp_graph::dataset::SyntheticSpec;
 use spp_core::policies::CachePolicy;
 use spp_gnn::{TrainConfig, Trainer};
+use spp_graph::dataset::SyntheticSpec;
 use spp_runtime::{DistTrainConfig, DistributedSetup, DistributedTrainer, SetupConfig};
 use spp_sampler::Fanouts;
 
@@ -22,17 +32,38 @@ fn main() {
     // to train on. The claim under test is distributed == single-machine,
     // which is split-independent.
     let acc = |name: &str, n: usize, deg: f64, dim: usize| {
-        SyntheticSpec::new(name, ((n as f64 * cli.scale * 0.25) as usize).max(1000), deg, dim, 8)
-            .split_fractions(0.3, 0.1, 0.2)
-            .homophily(0.9)
-            .feature_signal(1.5)
-            .seed(cli.seed)
-            .build()
+        SyntheticSpec::new(
+            name,
+            ((n as f64 * cli.scale * 0.25) as usize).max(1000),
+            deg,
+            dim,
+            8,
+        )
+        .split_fractions(0.3, 0.1, 0.2)
+        .homophily(0.9)
+        .feature_signal(1.5)
+        .seed(cli.seed)
+        .build()
     };
     let runs: [(&str, spp_graph::Dataset, usize, Fanouts); 3] = [
-        ("products", acc("products-acc", 24_000, 51.0, 50), 4, Fanouts::new(vec![10, 10])),
-        ("papers", acc("papers-acc", 110_000, 29.0, 64), 4, Fanouts::new(vec![10, 10])),
-        ("mag240", acc("mag240-acc", 24_000, 21.5, 384), 4, Fanouts::new(vec![15, 10])),
+        (
+            "products",
+            acc("products-acc", 24_000, 51.0, 50),
+            4,
+            Fanouts::new(vec![10, 10]),
+        ),
+        (
+            "papers",
+            acc("papers-acc", 110_000, 29.0, 64),
+            4,
+            Fanouts::new(vec![10, 10]),
+        ),
+        (
+            "mag240",
+            acc("mag240-acc", 24_000, 21.5, 384),
+            4,
+            Fanouts::new(vec![15, 10]),
+        ),
     ];
 
     let mut t = Table::new(

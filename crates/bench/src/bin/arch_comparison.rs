@@ -5,6 +5,16 @@
 //! comparable and (b) the sampled-neighborhood workload — hence the VIP
 //! analysis and the cache — is identical across them.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use spp_bench::{Cli, Table};
 use spp_gnn::{Arch, TrainConfig, Trainer};
 use spp_graph::dataset::SyntheticSpec;
@@ -24,7 +34,14 @@ fn main() {
 
     let mut t = Table::new(
         &format!("Architecture comparison on {} ({} vertices)", ds.name, n),
-        &["architecture", "params", "final loss", "val acc", "test acc", "train time"],
+        &[
+            "architecture",
+            "params",
+            "final loss",
+            "val acc",
+            "test acc",
+            "train time",
+        ],
     );
     for (name, arch) in [
         ("GraphSAGE (mean)", Arch::Sage),

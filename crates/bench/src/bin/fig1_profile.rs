@@ -4,6 +4,16 @@
 //! execution leaves long NIC gaps between GPU bursts; pipelining packs
 //! them; caching shrinks the NIC lane until it hides under the GPU lane.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use spp_bench::{papers_sim, Cli};
 use spp_core::policies::CachePolicy;
 use spp_runtime::{CostModel, DistributedSetup, EpochSim, SetupConfig, SystemSpec};
@@ -67,9 +77,17 @@ fn main() {
          glyphs: s=sample, l=slice+serve, c=comm, h=h2d, t=train, a=allreduce\n"
     );
     for (title, setup, spec) in [
-        ("partitioned features (no pipeline, no cache)", &bare, SystemSpec::partitioned(256)),
+        (
+            "partitioned features (no pipeline, no cache)",
+            &bare,
+            SystemSpec::partitioned(256),
+        ),
         ("+ pipelining", &bare, SystemSpec::pipelined(256)),
-        ("+ VIP caching (SALIENT++)", &cached, SystemSpec::pipelined(256)),
+        (
+            "+ VIP caching (SALIENT++)",
+            &cached,
+            SystemSpec::pipelined(256),
+        ),
     ] {
         let (time, trace) = EpochSim::new(setup, cost, spec).simulate_epoch_traced(0);
         // Window: the middle 20% of the epoch (steady state).

@@ -5,6 +5,16 @@
 //! keeps it at or below the empirical policy's runtime until
 //! communication stops being the bottleneck.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use spp_bench::report::fmt_secs;
 use spp_bench::{mag240_sim, papers_sim, Cli, Table};
 use spp_comm::NetworkModel;
@@ -36,10 +46,13 @@ fn main() {
     let mut curves = Vec::new();
     for (name, ds, fanouts, hidden, batch) in &runs {
         for policy in [CachePolicy::VipAnalytic, CachePolicy::Simulation] {
-            let mut row = vec![format!("{name} {}", match policy {
-                CachePolicy::VipAnalytic => "VIP (analytic)",
-                _ => "VIP (simulation)",
-            })];
+            let mut row = vec![format!(
+                "{name} {}",
+                match policy {
+                    CachePolicy::VipAnalytic => "VIP (analytic)",
+                    _ => "VIP (simulation)",
+                }
+            )];
             let mut curve = Vec::new();
             for &alpha in &ALPHAS {
                 let setup = DistributedSetup::build(
@@ -48,7 +61,11 @@ fn main() {
                         num_machines: 16,
                         fanouts: fanouts.clone(),
                         batch_size: *batch,
-                        policy: if alpha == 0.0 { CachePolicy::None } else { policy },
+                        policy: if alpha == 0.0 {
+                            CachePolicy::None
+                        } else {
+                            policy
+                        },
                         alpha,
                         beta: 0.1,
                         vip_reorder: true,

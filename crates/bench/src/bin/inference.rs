@@ -4,6 +4,16 @@
 //! caching benefits inference epochs just like training epochs, and that
 //! inference rounds need no gradient synchronization.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use spp_bench::report::fmt_secs;
 use spp_bench::{papers_sim, Cli, Table};
 use spp_core::policies::CachePolicy;
@@ -19,7 +29,12 @@ fn main() {
 
     let mut t = Table::new(
         "Distributed inference epoch, papers 8 GPUs, inference fanouts (20,20,20)",
-        &["config", "train epoch", "inference epoch", "infer comm busy"],
+        &[
+            "config",
+            "train epoch",
+            "inference epoch",
+            "infer comm busy",
+        ],
     );
     for (label, policy, alpha) in [
         ("no cache", CachePolicy::None, 0.0),

@@ -7,6 +7,16 @@
 //! the hot head once they have enough samples, while the analytic prior
 //! ranks the rarely-touched tail better.
 
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_bench::{papers_sim, Cli, Table};
@@ -68,8 +78,7 @@ fn main() {
                     .iter()
                     .enumerate()
                     .filter(|&(v, _)| {
-                        part.part_of(v as VertexId) != m as u32
-                            && !cache.contains(v as VertexId)
+                        part.part_of(v as VertexId) != m as u32 && !cache.contains(v as VertexId)
                     })
                     .map(|(_, &c)| c as f64)
                     .sum::<f64>()
@@ -85,7 +94,10 @@ fn main() {
                     .filter(|&v| part.part_of(v) != m as u32 && s[v as usize] > 0.0)
                     .collect();
                 remote.sort_by(|&a, &b| {
-                    s[b as usize].partial_cmp(&s[a as usize]).unwrap().then(a.cmp(&b))
+                    s[b as usize]
+                        .partial_cmp(&s[a as usize])
+                        .unwrap()
+                        .then(a.cmp(&b))
                 });
                 remote
             })
@@ -119,7 +131,11 @@ fn main() {
     ] {
         t.row(
             std::iter::once(name.to_string())
-                .chain([0.10, 0.30, 0.60].iter().map(|&a| format!("{:.0}", volume(ranks, a))))
+                .chain(
+                    [0.10, 0.30, 0.60]
+                        .iter()
+                        .map(|&a| format!("{:.0}", volume(ranks, a))),
+                )
                 .collect(),
         );
     }

@@ -19,17 +19,21 @@ pub struct Cli {
 }
 
 impl Cli {
-    /// Parses `std::env::args`. Unknown flags abort with a usage message.
+    /// Parses `std::env::args`. Malformed or unknown flags print a
+    /// message to stderr and exit with status 2.
     pub fn parse() -> Self {
-        Self::from_args(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+            eprintln!("error: {e} (try --help)");
+            std::process::exit(2);
+        })
     }
 
     /// Parses from an iterator (testable).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on malformed flags.
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// Returns a usage message on malformed or unknown flags.
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cli = Cli {
             scale: 1.0,
             seed: 0,
@@ -39,42 +43,23 @@ impl Cli {
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
-                "--scale" => {
-                    cli.scale = it
-                        .next()
-                        .expect("--scale needs a value")
-                        .parse()
-                        .expect("--scale must be a number");
-                }
-                "--seed" => {
-                    cli.seed = it
-                        .next()
-                        .expect("--seed needs a value")
-                        .parse()
-                        .expect("--seed must be an integer");
-                }
+                "--scale" => cli.scale = flag_value(&mut it, "--scale", "a number")?,
+                "--seed" => cli.seed = flag_value(&mut it, "--seed", "an integer")?,
                 "--epochs" => {
-                    cli.epochs = Some(
-                        it.next()
-                            .expect("--epochs needs a value")
-                            .parse()
-                            .expect("--epochs must be an integer"),
-                    );
+                    cli.epochs = Some(flag_value(&mut it, "--epochs", "an integer")?);
                 }
                 "--quick" => cli.quick = true,
                 "--help" | "-h" => {
-                    println!(
-                        "flags: --scale <f64> --seed <u64> --epochs <n> --quick"
-                    );
+                    println!("flags: --scale <f64> --seed <u64> --epochs <n> --quick");
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other} (try --help)"),
+                other => return Err(format!("unknown flag {other}")),
             }
         }
         if cli.quick {
             cli.scale *= 0.2;
         }
-        cli
+        Ok(cli)
     }
 
     /// The effective epoch count, given a harness default.
@@ -83,12 +68,23 @@ impl Cli {
     }
 }
 
+/// Pulls and parses the value following `flag`, with a uniform error.
+fn flag_value<T: std::str::FromStr, I: Iterator<Item = String>>(
+    it: &mut I,
+    flag: &str,
+    kind: &str,
+) -> Result<T, String> {
+    let raw = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+    raw.parse()
+        .map_err(|_| format!("{flag} must be {kind}, got {raw:?}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Cli {
-        Cli::from_args(args.iter().map(|s| s.to_string()))
+        Cli::from_args(args.iter().map(|s| s.to_string())).unwrap()
     }
 
     #[test]
@@ -116,8 +112,17 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unknown flag")]
-    fn unknown_flag_panics() {
-        parse(&["--bogus"]);
+    fn unknown_flag_errors() {
+        let e = Cli::from_args(["--bogus".to_string()]).unwrap_err();
+        assert!(e.contains("unknown flag"), "{e}");
+    }
+
+    #[test]
+    fn missing_and_malformed_values_error() {
+        assert!(Cli::from_args(["--seed".to_string()])
+            .unwrap_err()
+            .contains("needs a value"));
+        let e = Cli::from_args(["--scale".to_string(), "x".to_string()]).unwrap_err();
+        assert!(e.contains("must be a number"), "{e}");
     }
 }

@@ -5,6 +5,17 @@
 //! paper-vs-measured results). This library provides the text/CSV table
 //! formatter, the standard experiment datasets, and a tiny CLI parser.
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 // Index-based loops over multiple parallel arrays are used deliberately
 // throughout (CSR sweeps, per-partition load vectors); iterator zips would
 // obscure which array drives the bound.

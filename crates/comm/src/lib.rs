@@ -13,6 +13,18 @@
 //!   between simulated machines and verify distributed gathers
 //!   bit-for-bit.
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
 pub mod alltoall;
 pub mod des;
 pub mod net;

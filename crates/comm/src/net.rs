@@ -48,7 +48,8 @@ impl TokenBucketState {
     pub fn shape(&mut self, start: f64, bytes: f64) -> f64 {
         // Refill.
         let t = start.max(self.last_time);
-        self.tokens = (self.tokens + (t - self.last_time) * self.bucket.rate).min(self.bucket.burst);
+        self.tokens =
+            (self.tokens + (t - self.last_time) * self.bucket.rate).min(self.bucket.burst);
         self.last_time = t;
         if bytes <= self.tokens {
             self.tokens -= bytes;

@@ -1,5 +1,14 @@
 //! Property-based tests for the DES engine and network models.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use proptest::prelude::*;
 use spp_comm::net::TokenBucketState;
 use spp_comm::{DesEngine, NetworkModel, TokenBucket};

@@ -219,10 +219,10 @@ impl PartitionedFeatureStore {
                 .copy_from_slice(self.local.row(li as VertexId));
         }
         for &pos in &plan.cached {
-            let slot = self
-                .cache
-                .slot_of(nodes[pos as usize])
-                .expect("planned cache hit must be cached");
+            let Some(slot) = self.cache.slot_of(nodes[pos as usize]) else {
+                debug_assert!(false, "planned cache hit must be cached");
+                continue;
+            };
             out.row_mut(pos as usize)
                 .copy_from_slice(self.cache_feats.row(slot));
         }

@@ -31,6 +31,17 @@
 //! assert!(p[0] > 0.0);
 //! ```
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 // Index-based loops over multiple parallel arrays are used deliberately
 // throughout (CSR sweeps, per-partition load vectors); iterator zips would
 // obscure which array drives the bound.
@@ -45,6 +56,18 @@ pub mod vip_general;
 pub mod vip_partition;
 
 pub use cache::{CacheBuilder, StaticCache};
+
+/// Clamps a computed probability into `[0, 1]`.
+///
+/// Proposition 1 guarantees `p ∈ [0, 1]` analytically, but the log-space
+/// evaluation (`1 - exp(Σ ln_1p(-x))`) can escape the interval by a few
+/// ulps; every probability store in the VIP modules routes through this
+/// (enforced by `cargo xtask lint` rule `l5-prob-clamp`).
+#[inline]
+#[must_use]
+pub fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
 pub use feature_store::{BatchPlan, FeatureLocation, PartitionedFeatureStore};
 pub use policies::{CachePolicy, PolicyContext};
 pub use reorder::ReorderedLayout;

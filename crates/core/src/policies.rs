@@ -123,9 +123,7 @@ impl PolicyContext<'_> {
             CachePolicy::None => Vec::new(),
             CachePolicy::Degree => self.rank_by_scores(&self.degree_reachable_scores()),
             CachePolicy::OneHopHalo => self.rank_by_scores(&self.one_hop_scores()),
-            CachePolicy::WeightedReversePagerank => {
-                self.rank_by_scores(&self.wpr_scores(5, 0.85))
-            }
+            CachePolicy::WeightedReversePagerank => self.rank_by_scores(&self.wpr_scores(5, 0.85)),
             CachePolicy::NumPaths => self.rank_by_scores(&self.num_paths_scores()),
             CachePolicy::Simulation => self.rank_by_scores(&self.simulation_scores(2)),
             CachePolicy::VipAnalytic => self.rank_by_scores(&self.vip_scores()),
@@ -135,8 +133,7 @@ impl PolicyContext<'_> {
                     self.graph.num_vertices(),
                     "oracle requires measured access counts"
                 );
-                let scores: Vec<f64> =
-                    self.oracle_counts.iter().map(|&c| c as f64).collect();
+                let scores: Vec<f64> = self.oracle_counts.iter().map(|&c| c as f64).collect();
                 self.rank_by_scores(&scores)
             }
         }
@@ -145,14 +142,17 @@ impl PolicyContext<'_> {
     /// Sorts remote vertices by score (descending, stable by id), dropping
     /// zero-score vertices (they were never predicted to be touched).
     pub fn rank_by_scores(&self, scores: &[f64]) -> Vec<VertexId> {
-        assert_eq!(scores.len(), self.graph.num_vertices(), "score size mismatch");
+        assert_eq!(
+            scores.len(),
+            self.graph.num_vertices(),
+            "score size mismatch"
+        );
         let mut remote: Vec<VertexId> = (0..self.graph.num_vertices() as VertexId)
             .filter(|&v| self.partitioning.part_of(v) != self.part && scores[v as usize] > 0.0)
             .collect();
         remote.sort_by(|&a, &b| {
             scores[b as usize]
-                .partial_cmp(&scores[a as usize])
-                .unwrap()
+                .total_cmp(&scores[a as usize])
                 .then(a.cmp(&b))
         });
         remote
@@ -160,8 +160,7 @@ impl PolicyContext<'_> {
 
     /// Analytic VIP scores for this partition.
     pub fn vip_scores(&self) -> Vec<f64> {
-        VipModel::new(self.fanouts.clone(), self.batch_size)
-            .scores(self.graph, self.local_train)
+        VipModel::new(self.fanouts.clone(), self.batch_size).scores(self.graph, self.local_train)
     }
 
     /// Degree scores masked to vertices reachable within L hops of the
@@ -282,8 +281,7 @@ impl PolicyContext<'_> {
         let sampler = NodeWiseSampler::new(self.graph, self.fanouts.clone());
         let mut rng = StdRng::seed_from_u64(self.seed);
         for e in 0..epochs {
-            for batch in
-                MinibatchIter::new(self.local_train, self.batch_size, self.seed, e as u64)
+            for batch in MinibatchIter::new(self.local_train, self.batch_size, self.seed, e as u64)
             {
                 let mfg = sampler.sample(&batch, &mut rng);
                 for &v in &mfg.nodes {

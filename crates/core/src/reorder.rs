@@ -57,12 +57,7 @@ impl ReorderedLayout {
             let mut members = partitioning.members(p);
             if let Some(scores) = local_scores {
                 let sv = &scores[p as usize];
-                members.sort_by(|&a, &b| {
-                    sv[b as usize]
-                        .partial_cmp(&sv[a as usize])
-                        .unwrap()
-                        .then(a.cmp(&b))
-                });
+                members.sort_by(|&a, &b| sv[b as usize].total_cmp(&sv[a as usize]).then(a.cmp(&b)));
             }
             order.extend_from_slice(&members);
             part_offsets.push(order.len());
@@ -86,7 +81,7 @@ impl ReorderedLayout {
 
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
-        *self.part_offsets.last().unwrap()
+        self.part_offsets.last().copied().unwrap_or(0)
     }
 
     /// The partition owning a *new* vertex id (binary search over K+1

@@ -103,7 +103,7 @@ impl VipModel {
                     }
                     log_miss += (-x).ln_1p();
                 }
-                cur[u as usize] = 1.0 - log_miss.exp();
+                cur[u as usize] = crate::clamp01(1.0 - log_miss.exp());
             }
             hops.push(cur.clone());
             prev = cur;
@@ -125,7 +125,7 @@ impl VipModel {
                 }
                 log_miss += (-p).ln_1p();
             }
-            *o = 1.0 - log_miss.exp();
+            *o = crate::clamp01(1.0 - log_miss.exp());
         }
         out
     }
@@ -149,7 +149,10 @@ impl VipModel {
         train_of_part: &[Vec<VertexId>],
     ) -> Vec<Vec<f64>> {
         if train_of_part.len() <= 1 {
-            return train_of_part.iter().map(|t| self.scores(graph, t)).collect();
+            return train_of_part
+                .iter()
+                .map(|t| self.scores(graph, t))
+                .collect();
         }
         let mut out: Vec<Vec<f64>> = Vec::new();
         crossbeam::thread::scope(|scope| {
@@ -157,9 +160,12 @@ impl VipModel {
                 .iter()
                 .map(|t| scope.spawn(move |_| self.scores(graph, t)))
                 .collect();
-            out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            out = handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect();
         })
-        .expect("VIP worker thread panicked");
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
         out
     }
 }

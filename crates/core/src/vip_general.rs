@@ -134,7 +134,7 @@ impl GeneralVipModel {
                     }
                     log_miss += (-x).ln_1p();
                 }
-                cur[u as usize] = 1.0 - log_miss.exp();
+                cur[u as usize] = crate::clamp01(1.0 - log_miss.exp());
             }
             hops.push(cur.clone());
             prev = cur;
@@ -189,13 +189,9 @@ mod tests {
         score[2] = 0.05;
         let w = spp_sampler::weighted::EdgeWeights::from_target_scores(&g, &score);
         let p0 = VipModel::new(fanouts.clone(), 4).initial_probabilities(20, &train);
-        let uni = GeneralVipModel::new(1).scores(
-            &g,
-            &UniformTransitions::new(fanouts.clone()),
-            &p0,
-        );
-        let wtd =
-            GeneralVipModel::new(1).scores(&g, &WeightedTransitions::new(&w, fanouts), &p0);
+        let uni =
+            GeneralVipModel::new(1).scores(&g, &UniformTransitions::new(fanouts.clone()), &p0);
+        let wtd = GeneralVipModel::new(1).scores(&g, &WeightedTransitions::new(&w, fanouts), &p0);
         assert!(wtd[1] > uni[1] * 1.5, "boosted: {} vs {}", wtd[1], uni[1]);
         assert!(wtd[2] < uni[2] * 0.5, "deflated: {} vs {}", wtd[2], uni[2]);
     }
@@ -215,11 +211,8 @@ mod tests {
         score[0] = 4.0;
         let w = spp_sampler::weighted::EdgeWeights::from_target_scores(&g, &score);
         let p0 = VipModel::new(fanouts.clone(), b).initial_probabilities(40, &train);
-        let analytic = GeneralVipModel::new(1).scores(
-            &g,
-            &WeightedTransitions::new(&w, fanouts.clone()),
-            &p0,
-        );
+        let analytic =
+            GeneralVipModel::new(1).scores(&g, &WeightedTransitions::new(&w, fanouts.clone()), &p0);
 
         let sampler = WeightedNodeWiseSampler::new(&g, &w, fanouts);
         let mut rng = StdRng::seed_from_u64(9);

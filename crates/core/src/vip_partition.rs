@@ -188,7 +188,7 @@ impl VipRefiner {
                 candidates.push((gain, v, dst));
             }
         }
-        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
 
         let mut assignment = partitioning.assignment().to_vec();
         let mut moves = 0usize;
@@ -246,8 +246,19 @@ mod tests {
     use spp_partition::simple::block_partition;
     use spp_sampler::Fanouts;
 
-    fn fixture() -> (CsrGraph, Partitioning, Vec<Vec<VertexId>>, Vec<Vec<f64>>, Vec<f64>) {
-        let g = GeneratorConfig::planted_partition(400, 3200, 4, 0.8)
+    type Fixture = (
+        CsrGraph,
+        Partitioning,
+        Vec<Vec<VertexId>>,
+        Vec<Vec<f64>>,
+        Vec<f64>,
+    );
+
+    fn fixture() -> Fixture {
+        // Homophily 0.65 keeps enough cross-partition VIP mass that the
+        // block partition always admits beneficial moves; at 0.8 the
+        // instance is marginal and flips with the RNG stream.
+        let g = GeneratorConfig::planted_partition(400, 3200, 4, 0.65)
             .seed(2)
             .build();
         let part = block_partition(400, 4);

@@ -1,5 +1,14 @@
 //! Property-based tests for VIP analysis, caching, and the feature store.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use proptest::prelude::*;
 use spp_core::feature_store::{FeatureLocation, PartitionedFeatureStore};
 use spp_core::{CacheBuilder, ReorderedLayout, StaticCache, VipModel};
@@ -42,6 +51,74 @@ proptest! {
         for (s, l) in small.iter().zip(&large) {
             prop_assert!(l >= &(s - 1e-12));
         }
+    }
+
+    #[test]
+    fn vip_hop_scores_are_probabilities(
+        n in 8usize..96,
+        m in 1usize..400,
+        f1 in 1usize..8,
+        f2 in 1usize..8,
+        batch in 1usize..12,
+        seed in 0u64..300,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let train: Vec<VertexId> = (0..(n / 3).max(1) as u32).collect();
+        let model = VipModel::new(Fanouts::new(vec![f1, f2]), batch);
+        let p0 = model.initial_probabilities(n, &train);
+        for hop in model.hop_scores(&g, &p0) {
+            prop_assert_eq!(hop.len(), n);
+            prop_assert!(hop.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn vip_monotone_in_batch_size(
+        n in 16usize..96,
+        m in 10usize..400,
+        batch in 1usize..12,
+        extra in 1usize..8,
+        seed in 0u64..200,
+    ) {
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let train: Vec<VertexId> = (0..(n / 4).max(2) as u32).collect();
+        let fanouts = Fanouts::new(vec![3, 3]);
+        let small = VipModel::new(fanouts.clone(), batch).scores(&g, &train);
+        let large = VipModel::new(fanouts, batch + extra).scores(&g, &train);
+        // A larger minibatch can only raise each vertex's chance of
+        // appearing in the sampled neighborhood.
+        for (s, l) in small.iter().zip(&large) {
+            prop_assert!(l >= &(s - 1e-12), "batch monotonicity violated: {s} > {l}");
+        }
+    }
+
+    #[test]
+    fn vip_deterministic_across_shuffled_adjacency(
+        n in 8usize..64,
+        m in 1usize..300,
+        rot in 1usize..977,
+        seed in 0u64..200,
+    ) {
+        // Present the same edge set in a different order; the CSR build
+        // canonicalizes (sorted rows, deduped), so VIP scores must be
+        // bit-identical — replicas that ingest differently-ordered edge
+        // lists must agree on cache rankings.
+        let g = GeneratorConfig::erdos_renyi(n, m).seed(seed).build();
+        let edges: Vec<(VertexId, VertexId)> = g.edges().collect();
+        let mut b = spp_graph::GraphBuilder::with_capacity(n, edges.len());
+        let shift = rot % edges.len().max(1);
+        for &(src, dst) in edges[shift..].iter().chain(&edges[..shift]).rev() {
+            b.add_edge(src, dst);
+        }
+        let g2 = b.build();
+        prop_assert_eq!(&g, &g2);
+        let train: Vec<VertexId> = (0..(n / 3).max(1) as u32).collect();
+        let model = VipModel::new(Fanouts::new(vec![4, 2]), 4);
+        let p1 = model.scores(&g, &train);
+        let p2 = model.scores(&g2, &train);
+        // Bit-exact, not approximately equal: the sweep must not depend
+        // on input presentation order.
+        prop_assert!(p1.iter().zip(&p2).all(|(a, b)| a.to_bits() == b.to_bits()));
     }
 
     #[test]

@@ -465,7 +465,11 @@ impl GnnModel {
     /// Panics if `fwd` did not come from this model's [`GnnModel::forward`].
     pub fn accumulate_grads(&mut self, fwd: &Forward) {
         let params = self.params_mut();
-        assert_eq!(params.len(), fwd.param_nodes.len(), "forward/model mismatch");
+        assert_eq!(
+            params.len(),
+            fwd.param_nodes.len(),
+            "forward/model mismatch"
+        );
         for (p, &node) in params.into_iter().zip(&fwd.param_nodes) {
             if let Some(g) = fwd.tape.grad(node) {
                 p.accumulate(g);

@@ -9,7 +9,7 @@ use crate::{Arch, GnnModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_graph::{Dataset, VertexId};
-use spp_sampler::{Fanouts, MinibatchIter, Mfg, NodeWiseSampler};
+use spp_sampler::{Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
 use spp_tensor::{Adam, Matrix, Optimizer};
 use std::sync::Arc;
 
@@ -140,10 +140,7 @@ impl<'a> Trainer<'a> {
         let mut epochs = Vec::with_capacity(self.cfg.epochs);
         for epoch in 0..self.cfg.epochs {
             let stats = self.train_epoch(&mut opt, epoch as u64);
-            epochs.push(EpochStats {
-                epoch,
-                ..stats
-            });
+            epochs.push(EpochStats { epoch, ..stats });
         }
         let val_accuracy = self.evaluate(&self.ds.split.val, 10_007);
         let test_accuracy = self.evaluate(&self.ds.split.test, 10_009);

@@ -39,7 +39,7 @@ impl CsrGraph {
         assert!(!row_ptr.is_empty(), "row_ptr must have at least one entry");
         assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
         assert_eq!(
-            *row_ptr.last().unwrap(),
+            row_ptr.last().copied().unwrap_or(0),
             col.len(),
             "row_ptr must end at col.len()"
         );
@@ -80,6 +80,15 @@ impl CsrGraph {
     pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
         let v = v as usize;
         &self.col[self.row_ptr[v]..self.row_ptr[v + 1]]
+    }
+
+    /// The edge-index range of `v`'s out-edges: `neighbors(v)` is
+    /// `col()[neighbor_range(v)]`, and any edge-aligned side array (edge
+    /// weights, transition probabilities) slices with the same range.
+    #[inline]
+    pub fn neighbor_range(&self, v: VertexId) -> std::ops::Range<usize> {
+        let v = v as usize;
+        self.row_ptr[v]..self.row_ptr[v + 1]
     }
 
     /// Out-degree of `v`.

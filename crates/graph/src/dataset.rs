@@ -7,7 +7,6 @@
 //! and train/val/test split skew — at a laptop-tractable scale
 //! (see DESIGN.md §2 for the substitution rationale).
 
-
 use crate::{CsrGraph, Permutation, VertexId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -491,7 +490,9 @@ mod tests {
             .build();
         // Mean feature of class 0 differs from class 1 substantially.
         let mean = |c: u32| -> Vec<f32> {
-            let rows: Vec<_> = (0..200u32).filter(|&v| ds.labels[v as usize] == c).collect();
+            let rows: Vec<_> = (0..200u32)
+                .filter(|&v| ds.labels[v as usize] == c)
+                .collect();
             let mut m = [0.0f32; 16];
             for &v in &rows {
                 for (j, x) in ds.features.row(v).iter().enumerate() {

@@ -78,7 +78,10 @@ impl GeneratorConfig {
     /// Planted-partition graph with `blocks` communities.
     pub fn planted_partition(n: usize, target_edges: usize, blocks: usize, homophily: f64) -> Self {
         assert!(blocks > 0, "need at least one block");
-        assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&homophily),
+            "homophily must be in [0,1]"
+        );
         Self {
             n,
             target_edges,
@@ -186,7 +189,14 @@ impl GeneratorConfig {
     }
 }
 
-fn rmat_edge(rng: &mut StdRng, n: usize, levels: usize, a: f64, b: f64, c: f64) -> (VertexId, VertexId) {
+fn rmat_edge(
+    rng: &mut StdRng,
+    n: usize,
+    levels: usize,
+    a: f64,
+    b: f64,
+    c: f64,
+) -> (VertexId, VertexId) {
     let (mut x, mut y) = (0usize, 0usize);
     let mut step = 1usize << levels.saturating_sub(1);
     for _ in 0..levels {
@@ -230,7 +240,10 @@ pub fn citation_graph(
     seed: u64,
 ) -> CsrGraph {
     assert!(blocks > 0, "need at least one block");
-    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&homophily),
+        "homophily must be in [0,1]"
+    );
     assert!(tail > 1.0, "Pareto shape must exceed 1");
     let mut rng = StdRng::seed_from_u64(seed);
     // Per-vertex Pareto(tail) popularity weights, capped so no vertex can
@@ -245,8 +258,10 @@ pub fn citation_graph(
     // Global prefix sums; block draws restrict to [S[lo], S[hi]).
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0f64);
+    let mut acc = 0.0f64;
     for &w in &weights {
-        prefix.push(prefix.last().unwrap() + w);
+        acc += w;
+        prefix.push(acc);
     }
     let draw_range = |rng: &mut StdRng, lo: usize, hi: usize| -> usize {
         let x = prefix[lo] + rng.gen::<f64>() * (prefix[hi] - prefix[lo]);
@@ -286,7 +301,10 @@ pub fn citation_community(
     seed: u64,
 ) -> CsrGraph {
     assert!(blocks > 0, "need at least one block");
-    assert!((0.0..=1.0).contains(&homophily), "homophily must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&homophily),
+        "homophily must be in [0,1]"
+    );
     assert!(gamma >= 0.0, "gamma must be non-negative");
     let mut rng = StdRng::seed_from_u64(seed);
     // One CDF sized for the largest block; truncated per draw.
@@ -465,7 +483,10 @@ mod tests {
         // highest-degree vertices.
         let d0 = g.degree(0);
         let heavier = (0..1000).filter(|&v| g.degree(v) > d0).count();
-        assert!(heavier < 10, "vertex 0 should be near the top, {heavier} heavier");
+        assert!(
+            heavier < 10,
+            "vertex 0 should be near the top, {heavier} heavier"
+        );
     }
 
     #[test]
@@ -475,10 +496,17 @@ mod tests {
         // Heavy tail: max degree far above the median.
         let mut degs: Vec<usize> = (0..2000).map(|v| g.degree(v)).collect();
         degs.sort_unstable();
-        assert!(degs[1999] > 8 * degs[1000], "expected heavy tail: {:?}", &degs[1995..]);
+        assert!(
+            degs[1999] > 8 * degs[1000],
+            "expected heavy tail: {:?}",
+            &degs[1995..]
+        );
         // Homophily: most edges stay within their block.
         let block_of = |v: VertexId| (v as usize) * 8 / 2000;
-        let intra = g.edges().filter(|&(v, u)| block_of(v) == block_of(u)).count();
+        let intra = g
+            .edges()
+            .filter(|&(v, u)| block_of(v) == block_of(u))
+            .count();
         assert!(intra as f64 > 0.8 * g.num_edges() as f64);
     }
 

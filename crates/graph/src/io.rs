@@ -53,6 +53,62 @@ impl From<io::Error> for LoadError {
     }
 }
 
+/// A dataset load failure annotated with *where* it happened: the file
+/// being read and the byte offset reached when the error was detected
+/// (the count of bytes successfully consumed so far).
+#[derive(Debug)]
+pub struct GraphIoError {
+    /// The file being loaded.
+    pub path: std::path::PathBuf,
+    /// Byte offset reached when the error was detected.
+    pub offset: u64,
+    /// The underlying failure.
+    pub kind: LoadError,
+}
+
+impl std::fmt::Display for GraphIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "loading {} (at byte {}): {}",
+            self.path.display(),
+            self.offset,
+            self.kind
+        )
+    }
+}
+
+impl std::error::Error for GraphIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.kind)
+    }
+}
+
+/// Wraps a reader, counting bytes consumed so load errors can report an
+/// offset.
+struct CountingReader<R> {
+    inner: R,
+    count: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    fn new(inner: R) -> Self {
+        Self { inner, count: 0 }
+    }
+
+    fn bytes_read(&self) -> u64 {
+        self.count
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.count += n as u64;
+        Ok(n)
+    }
+}
+
 fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
@@ -74,7 +130,9 @@ fn write_u32_slice<W: Write>(w: &mut W, xs: &[u32]) -> io::Result<()> {
 fn read_u32_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u32>, LoadError> {
     let len = read_u64(r)?;
     if len > cap {
-        return Err(LoadError::Corrupt(format!("length {len} exceeds cap {cap}")));
+        return Err(LoadError::Corrupt(format!(
+            "length {len} exceeds cap {cap}"
+        )));
     }
     let mut buf = vec![0u8; len as usize * 4];
     r.read_exact(&mut buf)?;
@@ -95,7 +153,9 @@ fn write_f32_slice<W: Write>(w: &mut W, xs: &[f32]) -> io::Result<()> {
 fn read_f32_vec<R: Read>(r: &mut R, cap: u64) -> Result<Vec<f32>, LoadError> {
     let len = read_u64(r)?;
     if len > cap {
-        return Err(LoadError::Corrupt(format!("length {len} exceeds cap {cap}")));
+        return Err(LoadError::Corrupt(format!(
+            "length {len} exceeds cap {cap}"
+        )));
     }
     let mut buf = vec![0u8; len as usize * 4];
     r.read_exact(&mut buf)?;
@@ -141,11 +201,25 @@ impl Dataset {
     ///
     /// # Errors
     ///
-    /// Returns [`LoadError`] on I/O failure, wrong magic/version, or
-    /// structurally invalid contents (every section is validated before
-    /// use — a truncated or corrupted file never panics).
-    pub fn load<P: AsRef<Path>>(path: P) -> Result<Dataset, LoadError> {
-        let mut r = BufReader::new(std::fs::File::open(path)?);
+    /// Returns [`GraphIoError`] — the failing file plus the byte offset
+    /// reached — wrapping a [`LoadError`] kind: I/O failure, wrong
+    /// magic/version, or structurally invalid contents (every section is
+    /// validated before use — a truncated or corrupted file never
+    /// panics).
+    pub fn load<P: AsRef<Path>>(path: P) -> Result<Dataset, GraphIoError> {
+        let path = path.as_ref();
+        let at = |offset: u64, kind: LoadError| GraphIoError {
+            path: path.to_path_buf(),
+            offset,
+            kind,
+        };
+        let file = std::fs::File::open(path).map_err(|e| at(0, LoadError::Io(e)))?;
+        let mut r = CountingReader::new(BufReader::new(file));
+        Self::load_impl(&mut r).map_err(|kind| at(r.bytes_read(), kind))
+    }
+
+    /// Format-level loading, independent of the file behind the reader.
+    fn load_impl<R: Read>(mut r: &mut R) -> Result<Dataset, LoadError> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
@@ -163,8 +237,8 @@ impl Dataset {
         }
         let mut name = vec![0u8; name_len as usize];
         r.read_exact(&mut name)?;
-        let name = String::from_utf8(name)
-            .map_err(|_| LoadError::Corrupt("name not UTF-8".into()))?;
+        let name =
+            String::from_utf8(name).map_err(|_| LoadError::Corrupt("name not UTF-8".into()))?;
         let num_classes = read_u64(&mut r)? as usize;
         if num_classes == 0 || num_classes > u32::MAX as usize {
             return Err(LoadError::Corrupt("bad class count".into()));
@@ -204,16 +278,16 @@ impl Dataset {
         if labels.len() != n || labels.iter().any(|&l| (l as usize) >= num_classes) {
             return Err(LoadError::Corrupt("invalid labels".into()));
         }
-        let read_split = |r: &mut BufReader<std::fs::File>| -> Result<Vec<u32>, LoadError> {
+        let read_split = |r: &mut R| -> Result<Vec<u32>, LoadError> {
             let ids = read_u32_vec(r, n as u64)?;
             if ids.iter().any(|&v| (v as usize) >= n) || ids.windows(2).any(|w| w[0] >= w[1]) {
                 return Err(LoadError::Corrupt("invalid split ids".into()));
             }
             Ok(ids)
         };
-        let train = read_split(&mut r)?;
-        let val = read_split(&mut r)?;
-        let test = read_split(&mut r)?;
+        let train = read_split(r)?;
+        let val = read_split(r)?;
+        let test = read_split(r)?;
 
         Ok(Dataset {
             name,
@@ -259,7 +333,9 @@ mod tests {
         std::fs::write(&path, b"NOPE....").unwrap();
         let err = Dataset::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, LoadError::BadMagic));
+        assert!(matches!(err.kind, LoadError::BadMagic));
+        assert_eq!(err.path, path);
+        assert_eq!(err.offset, 4, "magic is read first");
     }
 
     #[test]
@@ -271,7 +347,8 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
         let err = Dataset::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, LoadError::Io(_) | LoadError::Corrupt(_)));
+        assert!(matches!(err.kind, LoadError::Io(_) | LoadError::Corrupt(_)));
+        assert!(err.offset > 8, "offset points past the header: {err}");
     }
 
     #[test]
@@ -300,13 +377,15 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         let err = Dataset::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, LoadError::BadVersion(_)));
+        assert!(matches!(err.kind, LoadError::BadVersion(_)));
     }
 
     #[test]
     fn missing_file_is_io_error() {
         let err = Dataset::load("/definitely/not/a/real/path.sppd").unwrap_err();
-        assert!(matches!(err, LoadError::Io(_)));
-        assert!(!format!("{err}").is_empty());
+        assert!(matches!(err.kind, LoadError::Io(_)));
+        assert_eq!(err.offset, 0);
+        let msg = format!("{err}");
+        assert!(msg.contains("path.sppd"), "message names the file: {msg}");
     }
 }

@@ -17,6 +17,17 @@
 //! assert!(g.is_symmetric());
 //! ```
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
 // Index-based loops over multiple parallel arrays are used deliberately
 // throughout (CSR sweeps, per-partition load vectors); iterator zips would
 // obscure which array drives the bound.
@@ -33,6 +44,7 @@ pub mod stats;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dataset::{Dataset, FeatureMatrix, Split, SplitKind};
+pub use io::{GraphIoError, LoadError};
 pub use perm::Permutation;
 
 /// Vertex identifier. `u32` suffices for the scaled-down benchmark graphs

@@ -114,6 +114,7 @@ impl Permutation {
         let mut row_ptr = vec![0usize; n + 1];
         for new in 0..n {
             let old = self.backward[new];
+            // spp-lint: allow(l2-csr-index): building the permuted graph's offsets via the checked degree accessor
             row_ptr[new + 1] = row_ptr[new] + g.degree(old);
         }
         let mut col = Vec::with_capacity(g.num_edges());

@@ -48,7 +48,11 @@ impl GraphStats {
         degs.sort_unstable();
         let total: usize = degs.iter().sum();
         let median_degree = if n == 0 { 0 } else { degs[n / 2] };
-        let p99_degree = if n == 0 { 0 } else { degs[(n * 99 / 100).min(n - 1)] };
+        let p99_degree = if n == 0 {
+            0
+        } else {
+            degs[(n * 99 / 100).min(n - 1)]
+        };
         let max_degree = degs.last().copied().unwrap_or(0);
 
         // Gini via the sorted-degree formula:
@@ -130,7 +134,11 @@ mod tests {
         let g = citation_graph(5_000, 50_000, 16, 0.93, 1.2, 3);
         let s = GraphStats::compute(&g);
         assert!(s.median_degree < (s.mean_degree as usize).max(1));
-        assert!(s.degree_gini > 0.4 && s.degree_gini < 0.95, "gini {}", s.degree_gini);
+        assert!(
+            s.degree_gini > 0.4 && s.degree_gini < 0.95,
+            "gini {}",
+            s.degree_gini
+        );
         assert!(!format!("{s}").is_empty());
     }
 

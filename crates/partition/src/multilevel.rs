@@ -119,10 +119,7 @@ impl MultilevelPartitioner {
             graph.num_vertices(),
             "weights/graph size mismatch"
         );
-        assert!(
-            graph.num_vertices() >= self.k,
-            "fewer vertices than parts"
-        );
+        assert!(graph.num_vertices() >= self.k, "fewer vertices than parts");
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // Finest level from the input graph.
@@ -135,8 +132,10 @@ impl MultilevelPartitioner {
         }];
 
         // Phase 1: coarsen.
-        while levels.last().unwrap().n() > self.coarsen_until {
-            let fine = levels.last().unwrap();
+        while let Some(fine) = levels.last() {
+            if fine.n() <= self.coarsen_until {
+                break;
+            }
             let coarse = coarsen(fine, &mut rng);
             // Stop if matching stalls (star-like graphs stop shrinking).
             if coarse.n() as f64 > fine.n() as f64 * 0.95 {
@@ -148,10 +147,13 @@ impl MultilevelPartitioner {
         // Phase 2: initial partition on the coarsest level — several
         // random restarts of connectivity-driven greedy growing, keeping
         // the best refined cut.
-        let coarsest = levels.last().unwrap();
         let limits = self.limits(weights);
         let mut assignment = Vec::new();
         let mut best_cut = u64::MAX;
+        let coarsest = match levels.last() {
+            Some(l) => l,
+            None => return Partitioning::new(Vec::new(), self.k),
+        };
         for _ in 0..4 {
             let mut cand = greedy_growing(coarsest, self.k, &mut rng);
             repair_balance(coarsest, &mut cand, self.k, &limits, &mut rng);
@@ -378,7 +380,7 @@ fn greedy_growing(level: &Level, k: usize, rng: &mut StdRng) -> Vec<u32> {
     }
     for v in 0..n {
         if assignment[v] == u32::MAX {
-            let p = (0..k).min_by_key(|&p| loads[p]).unwrap();
+            let p = (0..k).min_by_key(|&p| loads[p]).unwrap_or(0);
             assignment[v] = p as u32;
             loads[p] += level.vw[v][0];
         }
@@ -580,7 +582,9 @@ mod tests {
             .seed(3)
             .build();
         let w = VertexWeights::from_dataset(&ds);
-        let p = MultilevelPartitioner::new(4).seed(4).partition(&ds.graph, &w);
+        let p = MultilevelPartitioner::new(4)
+            .seed(4)
+            .partition(&ds.graph, &w);
         let imb = metrics::imbalance(&p, &w);
         for (c, &i) in imb.iter().enumerate() {
             assert!(i < 1.35, "constraint {c} imbalance {i:.3} too high");

@@ -26,10 +26,7 @@ pub fn hash_partition(n: usize, k: usize) -> Partitioning {
 /// "oracle-structure" partitioner; on arbitrary orderings it is weak.
 pub fn block_partition(n: usize, k: usize) -> Partitioning {
     assert!(k > 0, "need at least one part");
-    Partitioning::new(
-        (0..n).map(|v| ((v * k) / n.max(1)) as u32).collect(),
-        k,
-    )
+    Partitioning::new((0..n).map(|v| ((v * k) / n.max(1)) as u32).collect(), k)
 }
 
 /// Streaming linear-deterministic-greedy (LDG) partitioner: processes
@@ -54,8 +51,7 @@ pub fn ldg_partition(graph: &CsrGraph, k: usize, weights: &VertexWeights) -> Par
         let mut best_score = f64::NEG_INFINITY;
         for p in 0..k {
             let damp = 1.0 - load[p] as f64 / capacity;
-            let score = neigh_count[p] as f64 * damp.max(0.0)
-                + damp * 1e-6; // tie-break toward emptier parts
+            let score = neigh_count[p] as f64 * damp.max(0.0) + damp * 1e-6; // tie-break toward emptier parts
             if score > best_score {
                 best_score = score;
                 best = p;

@@ -9,14 +9,14 @@
 //! paper's storage optimizations leave training semantics untouched.
 
 use crate::setup::DistributedSetup;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spp_comm::{run_machines, AllToAll};
 use spp_gnn::metrics::{predictions, AccuracyMeter};
 use spp_gnn::{Arch, GnnModel};
 use spp_graph::{FeatureMatrix, VertexId};
 use spp_sampler::{MinibatchIter, NodeWiseSampler};
 use spp_tensor::{Adam, Matrix, Optimizer};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 /// One all-to-all payload.
@@ -101,8 +101,10 @@ impl<'a> DistributedTrainer<'a> {
         responses: &mut [Option<FeatureMatrix>],
     ) -> Matrix {
         setup.stores[rank].gather(nodes, |owner, ids| {
+            #[allow(clippy::expect_used)]
             let f = responses[owner as usize]
                 .take()
+                // spp-lint: allow(l1-no-panic): prefetch deposits one response per owner in the batch plan; a missing one is a protocol bug, not a runtime condition
                 .expect("missing response from owner");
             assert_eq!(f.num_rows(), ids.len(), "response row count mismatch");
             f
@@ -124,8 +126,7 @@ impl<'a> DistributedTrainer<'a> {
         let mut results = run_machines(k, |rank| {
             let mut model = GnnModel::new(cfg.arch, &dims, cfg.seed);
             let mut opt = Adam::new(cfg.lr);
-            let sampler =
-                NodeWiseSampler::new(&setup.dataset.graph, setup.config.fanouts.clone());
+            let sampler = NodeWiseSampler::new(&setup.dataset.graph, setup.config.fanouts.clone());
             let mut rng = StdRng::seed_from_u64(cfg.seed ^ (rank as u64) << 32);
             let mut epoch_losses = Vec::with_capacity(cfg.epochs);
             let mut remote_fetches = 0usize;
@@ -150,9 +151,8 @@ impl<'a> DistributedTrainer<'a> {
                         remote_fetches += p.num_remote();
                         for (owner, reqs) in p.remote.iter().enumerate() {
                             if !reqs.is_empty() {
-                                outgoing[owner] = Payload::Ids(
-                                    reqs.iter().map(|&(_, v)| v).collect(),
-                                );
+                                outgoing[owner] =
+                                    Payload::Ids(reqs.iter().map(|&(_, v)| v).collect());
                             }
                         }
                     }
@@ -162,9 +162,7 @@ impl<'a> DistributedTrainer<'a> {
                     let responses: Vec<Payload> = incoming
                         .into_iter()
                         .map(|msg| match msg {
-                            Payload::Ids(ids) => {
-                                Payload::Feats(setup.stores[rank].serve(&ids))
-                            }
+                            Payload::Ids(ids) => Payload::Feats(setup.stores[rank].serve(&ids)),
                             _ => Payload::Empty,
                         })
                         .collect();
@@ -284,11 +282,7 @@ impl<'a> DistributedTrainer<'a> {
             let x = Matrix::from_flat(mfg.num_nodes(), ds.features.dim(), f.as_flat().to_vec());
             let fwd = model.forward(x, &mfg, false, &mut rng);
             let preds = predictions(fwd.logits_value());
-            let labels: Vec<u32> = mfg
-                .seeds()
-                .iter()
-                .map(|&v| ds.labels[v as usize])
-                .collect();
+            let labels: Vec<u32> = mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect();
             meter.update(&preds, &labels);
         }
         meter.value()
@@ -303,8 +297,7 @@ impl<'a> DistributedTrainer<'a> {
         let requests_x = AllToAll::<Payload>::new(k);
         let feats_x = AllToAll::<Payload>::new(k);
         let checked = run_machines(k, |rank| {
-            let sampler =
-                NodeWiseSampler::new(&setup.dataset.graph, setup.config.fanouts.clone());
+            let sampler = NodeWiseSampler::new(&setup.dataset.graph, setup.config.fanouts.clone());
             let mut rng = StdRng::seed_from_u64(seed ^ rank as u64);
             let batch: Vec<VertexId> = setup.local_train[rank]
                 .iter()
@@ -317,8 +310,7 @@ impl<'a> DistributedTrainer<'a> {
             if let Some(p) = &plan {
                 for (owner, reqs) in p.remote.iter().enumerate() {
                     if !reqs.is_empty() {
-                        outgoing[owner] =
-                            Payload::Ids(reqs.iter().map(|&(_, v)| v).collect());
+                        outgoing[owner] = Payload::Ids(reqs.iter().map(|&(_, v)| v).collect());
                     }
                 }
             }

@@ -90,7 +90,12 @@ impl<'a> PipelineSim<'a> {
     /// # Panics
     ///
     /// Panics if `depth` is zero.
-    pub fn new(setup: &'a DistributedSetup, cost: CostModel, hidden_dim: usize, depth: usize) -> Self {
+    pub fn new(
+        setup: &'a DistributedSetup,
+        cost: CostModel,
+        hidden_dim: usize,
+        depth: usize,
+    ) -> Self {
         assert!(depth > 0, "pipeline depth must be positive");
         Self {
             setup,
@@ -125,10 +130,18 @@ impl<'a> PipelineSim<'a> {
         };
 
         let mut des = DesEngine::new();
-        let cpu: Vec<_> = (0..k).map(|m| des.add_resource(&format!("cpu{m}"))).collect();
-        let gpu: Vec<_> = (0..k).map(|m| des.add_resource(&format!("gpu{m}"))).collect();
-        let copy: Vec<_> = (0..k).map(|m| des.add_resource(&format!("copy{m}"))).collect();
-        let nic: Vec<_> = (0..k).map(|m| des.add_resource(&format!("nic{m}"))).collect();
+        let cpu: Vec<_> = (0..k)
+            .map(|m| des.add_resource(&format!("cpu{m}")))
+            .collect();
+        let gpu: Vec<_> = (0..k)
+            .map(|m| des.add_resource(&format!("gpu{m}")))
+            .collect();
+        let copy: Vec<_> = (0..k)
+            .map(|m| des.add_resource(&format!("copy{m}")))
+            .collect();
+        let nic: Vec<_> = (0..k)
+            .map(|m| des.add_resource(&format!("nic{m}")))
+            .collect();
         let nic_grad: Vec<_> = (0..k)
             .map(|m| des.add_resource(&format!("nic-grad{m}")))
             .collect();
@@ -183,7 +196,10 @@ impl<'a> PipelineSim<'a> {
                 }
                 let dur2 = meta(&self.cost);
                 busy.stage[1] += dur2;
-                let deps2: Vec<TaskId> = if has_batch { vec![s1[m].unwrap()] } else { all_s1.clone() };
+                let deps2: Vec<TaskId> = match s1[m] {
+                    Some(t) if has_batch => vec![t],
+                    _ => all_s1.clone(),
+                };
                 let t2 = des.submit(nic_ctl[m], dur2, &deps2);
                 let dur3 = self.cost.pcie_time(64.0 * k as f64);
                 busy.stage[2] += dur3;
@@ -356,7 +372,12 @@ mod tests {
         let cost = CostModel::mini_calibrated();
         let d1 = PipelineSim::new(&s, cost, 64, 1).simulate_epoch(0);
         let d10 = PipelineSim::new(&s, cost, 64, 10).simulate_epoch(0);
-        assert!(d1.makespan > d10.makespan, "{} vs {}", d1.makespan, d10.makespan);
+        assert!(
+            d1.makespan > d10.makespan,
+            "{} vs {}",
+            d1.makespan,
+            d10.makespan
+        );
     }
 
     #[test]

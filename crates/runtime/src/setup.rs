@@ -162,8 +162,7 @@ impl DistributedSetup {
 
         let dataset = ds.permuted(layout.perm());
 
-        let cache_builder =
-            CacheBuilder::new(config.alpha, ds.num_vertices(), config.num_machines);
+        let cache_builder = CacheBuilder::new(config.alpha, ds.num_vertices(), config.num_machines);
         let stores: Vec<PartitionedFeatureStore> = (0..config.num_machines as u32)
             .map(|p| {
                 // Rankings are in original ids; relabel into the new space.
@@ -252,7 +251,10 @@ mod tests {
         assert_eq!(total, ds.split.train.len());
         for (k, t) in s.local_train.iter().enumerate() {
             for &v in t {
-                assert!(s.layout.is_local(v, k as u32), "train vertex on wrong machine");
+                assert!(
+                    s.layout.is_local(v, k as u32),
+                    "train vertex on wrong machine"
+                );
             }
         }
     }

@@ -83,9 +83,12 @@ impl AccessCounts {
                     .enumerate()
                     .map(|(k, t)| scope.spawn(move |_| measure_one(k, t)))
                     .collect();
-                out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+                out = handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                    .collect();
             })
-            .expect("measurement worker thread panicked");
+            .unwrap_or_else(|e| std::panic::resume_unwind(e));
             out
         };
         Self { counts, epochs }
@@ -109,8 +112,7 @@ impl AccessCounts {
             .iter()
             .enumerate()
             .filter(|&(v, _)| {
-                partitioning.part_of(v as VertexId) != k as u32
-                    && !cache.contains(v as VertexId)
+                partitioning.part_of(v as VertexId) != k as u32 && !cache.contains(v as VertexId)
             })
             .map(|(_, &c)| c)
             .sum();
@@ -139,9 +141,7 @@ impl AccessCounts {
     /// are communication-optimal for the measured run.
     pub fn oracle_ranking(&self, partitioning: &Partitioning, k: usize) -> Vec<VertexId> {
         let mut remote: Vec<VertexId> = (0..self.counts[k].len() as VertexId)
-            .filter(|&v| {
-                partitioning.part_of(v) != k as u32 && self.counts[k][v as usize] > 0
-            })
+            .filter(|&v| partitioning.part_of(v) != k as u32 && self.counts[k][v as usize] > 0)
             .collect();
         remote.sort_by(|&a, &b| {
             self.counts[k][b as usize]

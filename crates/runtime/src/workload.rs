@@ -46,52 +46,55 @@ pub fn measure_streams(
     epoch: u64,
     streams: &[Vec<spp_graph::VertexId>],
 ) -> Vec<Vec<BatchStats>> {
-    assert_eq!(streams.len(), setup.num_machines(), "one stream per machine");
+    assert_eq!(
+        streams.len(),
+        setup.num_machines(),
+        "one stream per machine"
+    );
     let k = setup.num_machines();
     let fanouts = &setup.config.fanouts;
     let graph = &setup.dataset.graph;
     let l = fanouts.num_hops();
     let measure_machine = |m: usize| {
-            let sampler = NodeWiseSampler::new(graph, fanouts.clone());
-            let mut rng = StdRng::seed_from_u64(setup.config.seed ^ (m as u64) ^ (epoch << 17));
-            MinibatchIter::new(
-                &streams[m],
-                setup.config.batch_size,
-                setup.config.seed ^ m as u64,
-                epoch,
-            )
-            .map(|batch| {
-                let mfg = sampler.sample(&batch, &mut rng);
-                // Layer l (1-indexed) input rows = cumulative size at
-                // depth L - l + 1; its output rows = size at L - l.
-                let layer_rows: Vec<usize> =
-                    (1..=l).map(|layer| mfg.sizes[l - layer + 1]).collect();
-                if full_replication {
-                    let nodes = mfg.num_nodes();
-                    let gpu = (nodes as f64 * setup.config.beta).round() as usize;
-                    BatchStats {
-                        edges: mfg.num_edges(),
-                        layer_rows,
-                        local_gpu: gpu,
-                        local_cpu: nodes - gpu,
-                        cached: 0,
-                        remote_total: 0,
-                        remote_per_owner: vec![0; k],
-                    }
-                } else {
-                    let plan = setup.stores[m].plan(&mfg.nodes);
-                    BatchStats {
-                        edges: mfg.num_edges(),
-                        layer_rows,
-                        local_gpu: plan.local_gpu.len(),
-                        local_cpu: plan.local_cpu.len(),
-                        cached: plan.cached.len(),
-                        remote_total: plan.num_remote(),
-                        remote_per_owner: plan.remote.iter().map(Vec::len).collect(),
-                    }
+        let sampler = NodeWiseSampler::new(graph, fanouts.clone());
+        let mut rng = StdRng::seed_from_u64(setup.config.seed ^ (m as u64) ^ (epoch << 17));
+        MinibatchIter::new(
+            &streams[m],
+            setup.config.batch_size,
+            setup.config.seed ^ m as u64,
+            epoch,
+        )
+        .map(|batch| {
+            let mfg = sampler.sample(&batch, &mut rng);
+            // Layer l (1-indexed) input rows = cumulative size at
+            // depth L - l + 1; its output rows = size at L - l.
+            let layer_rows: Vec<usize> = (1..=l).map(|layer| mfg.sizes[l - layer + 1]).collect();
+            if full_replication {
+                let nodes = mfg.num_nodes();
+                let gpu = (nodes as f64 * setup.config.beta).round() as usize;
+                BatchStats {
+                    edges: mfg.num_edges(),
+                    layer_rows,
+                    local_gpu: gpu,
+                    local_cpu: nodes - gpu,
+                    cached: 0,
+                    remote_total: 0,
+                    remote_per_owner: vec![0; k],
                 }
-            })
-            .collect::<Vec<BatchStats>>()
+            } else {
+                let plan = setup.stores[m].plan(&mfg.nodes);
+                BatchStats {
+                    edges: mfg.num_edges(),
+                    layer_rows,
+                    local_gpu: plan.local_gpu.len(),
+                    local_cpu: plan.local_cpu.len(),
+                    cached: plan.cached.len(),
+                    remote_total: plan.num_remote(),
+                    remote_per_owner: plan.remote.iter().map(Vec::len).collect(),
+                }
+            }
+        })
+        .collect::<Vec<BatchStats>>()
     };
     if k <= 1 {
         return (0..k).map(measure_machine).collect();
@@ -103,9 +106,12 @@ pub fn measure_streams(
         let handles: Vec<_> = (0..k)
             .map(|m| scope.spawn(move |_| measure_machine(m)))
             .collect();
-        out = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        out = handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect();
     })
-    .expect("measurement worker thread panicked");
+    .unwrap_or_else(|e| std::panic::resume_unwind(e));
     out
 }
 

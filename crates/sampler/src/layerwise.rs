@@ -63,9 +63,8 @@ impl<'g> LayerWiseSampler<'g> {
     ///
     /// Panics on duplicate seeds.
     pub fn sample<R: Rng>(&self, seeds: &[VertexId], rng: &mut R) -> Mfg {
-        let mut indexer = VertexIndexer::with_capacity(
-            seeds.len() + self.budgets.iter().sum::<usize>() + 16,
-        );
+        let mut indexer =
+            VertexIndexer::with_capacity(seeds.len() + self.budgets.iter().sum::<usize>() + 16);
         for (i, &s) in seeds.iter().enumerate() {
             indexer.insert(s);
             assert_eq!(indexer.len(), i + 1, "duplicate seed {s} in minibatch");
@@ -74,7 +73,7 @@ impl<'g> LayerWiseSampler<'g> {
         let mut hops = Vec::with_capacity(self.budgets.len());
 
         for &budget in &self.budgets {
-            let num_targets = *sizes.last().unwrap();
+            let num_targets = sizes.last().copied().unwrap_or(0);
             // Union of all targets' neighbors (global ids, deduplicated).
             let mut union = VertexIndexer::with_capacity(num_targets * 8);
             for t in 0..num_targets {
@@ -108,8 +107,12 @@ impl<'g> LayerWiseSampler<'g> {
             for t in 0..num_targets {
                 let v = indexer.nodes()[t];
                 for &u in self.graph.neighbors(v) {
-                    if layer.get(u).is_some() {
-                        col.push(indexer.get(u).expect("sampled vertex registered"));
+                    if layer.get(u).is_none() {
+                        continue;
+                    }
+                    debug_assert!(indexer.get(u).is_some(), "sampled vertex registered");
+                    if let Some(local) = indexer.get(u) {
+                        col.push(local);
                     }
                 }
                 row_ptr.push(col.len());

@@ -22,13 +22,25 @@
 //! mfg.validate().unwrap();
 //! ```
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
 pub mod batch;
 pub mod dedup;
 pub mod fanouts;
 pub mod layerwise;
 pub mod mfg;
-pub mod weighted;
 pub mod sample;
+pub mod weighted;
 
 pub use batch::MinibatchIter;
 pub use dedup::VertexIndexer;

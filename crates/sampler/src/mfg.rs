@@ -25,6 +25,7 @@ impl HopAdj {
     /// Sampled neighbors (local indices) of target `t`.
     #[inline]
     pub fn neighbors(&self, t: usize) -> &[u32] {
+        // spp-lint: allow(l2-csr-index): this IS HopAdj's checked accessor, the MFG analogue of CsrGraph::neighbors
         &self.col[self.row_ptr[t]..self.row_ptr[t + 1]]
     }
 
@@ -100,7 +101,7 @@ impl Mfg {
                 self.hops.len()
             ));
         }
-        if *self.sizes.last().unwrap() != self.nodes.len() {
+        if self.sizes.last().copied() != Some(self.nodes.len()) {
             return Err("last size must equal node count".into());
         }
         if self.sizes.windows(2).any(|w| w[0] > w[1]) {

@@ -50,9 +50,8 @@ impl<'g> NodeWiseSampler<'g> {
     ///
     /// Panics if `seeds` contains duplicates (a minibatch is a set).
     pub fn sample<R: Rng>(&self, seeds: &[VertexId], rng: &mut R) -> Mfg {
-        let mut indexer = VertexIndexer::with_capacity(
-            self.fanouts.max_expanded_size(seeds.len()).min(1 << 20),
-        );
+        let mut indexer =
+            VertexIndexer::with_capacity(self.fanouts.max_expanded_size(seeds.len()).min(1 << 20));
         for (i, &s) in seeds.iter().enumerate() {
             indexer.insert(s);
             assert_eq!(indexer.len(), i + 1, "duplicate seed {s} in minibatch");
@@ -63,7 +62,7 @@ impl<'g> NodeWiseSampler<'g> {
 
         for h in 1..=self.fanouts.num_hops() {
             let fanout = self.fanouts.hop(h);
-            let num_targets = *sizes.last().unwrap();
+            let num_targets = sizes.last().copied().unwrap_or(0);
             let mut row_ptr = Vec::with_capacity(num_targets + 1);
             row_ptr.push(0usize);
             let mut col: Vec<u32> = Vec::with_capacity(num_targets * fanout);
@@ -201,11 +200,10 @@ mod tests {
             }
         }
         // Exact uniform would be 200 each; allow generous slack.
-        for u in 1..21 {
+        for (u, &c) in counts.iter().enumerate().skip(1) {
             assert!(
-                counts[u] > 100 && counts[u] < 320,
-                "neighbor {u} count {} outside plausible range",
-                counts[u]
+                c > 100 && c < 320,
+                "neighbor {u} count {c} outside plausible range"
             );
         }
     }

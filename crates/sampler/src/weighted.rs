@@ -55,18 +55,13 @@ impl EdgeWeights {
             score.iter().all(|s| s.is_finite() && *s > 0.0),
             "scores must be positive and finite"
         );
-        let weights = graph
-            .col()
-            .iter()
-            .map(|&u| score[u as usize])
-            .collect();
+        let weights = graph.col().iter().map(|&u| score[u as usize]).collect();
         Self { weights }
     }
 
     /// The weights of `v`'s out-edges, aligned with `graph.neighbors(v)`.
     pub fn of(&self, graph: &CsrGraph, v: VertexId) -> &[f32] {
-        let v = v as usize;
-        &self.weights[graph.row_ptr()[v]..graph.row_ptr()[v + 1]]
+        &self.weights[graph.neighbor_range(v)]
     }
 
     /// The transition probability `t(u, v)` that `v` includes `u` among
@@ -146,9 +141,8 @@ impl<'g> WeightedNodeWiseSampler<'g> {
     ///
     /// Panics on duplicate seeds.
     pub fn sample<R: Rng>(&self, seeds: &[VertexId], rng: &mut R) -> Mfg {
-        let mut indexer = VertexIndexer::with_capacity(
-            self.fanouts.max_expanded_size(seeds.len()).min(1 << 20),
-        );
+        let mut indexer =
+            VertexIndexer::with_capacity(self.fanouts.max_expanded_size(seeds.len()).min(1 << 20));
         for (i, &s) in seeds.iter().enumerate() {
             indexer.insert(s);
             assert_eq!(indexer.len(), i + 1, "duplicate seed {s} in minibatch");
@@ -159,7 +153,7 @@ impl<'g> WeightedNodeWiseSampler<'g> {
 
         for h in 1..=self.fanouts.num_hops() {
             let fanout = self.fanouts.hop(h);
-            let num_targets = *sizes.last().unwrap();
+            let num_targets = sizes.last().copied().unwrap_or(0);
             let mut row_ptr = vec![0usize];
             let mut col: Vec<u32> = Vec::with_capacity(num_targets * fanout);
             for t in 0..num_targets {

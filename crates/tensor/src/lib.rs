@@ -22,6 +22,18 @@
 //! assert_eq!(gw.shape(), (2, 1));
 //! ```
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
 pub mod init;
 pub mod matrix;
 pub mod optim;

@@ -153,7 +153,7 @@ impl Matrix {
                 scope.spawn(move |_| Self::matmul_rows(self, other, row0, chunk));
             }
         })
-        .expect("matmul worker panicked");
+        .unwrap_or_else(|e| std::panic::resume_unwind(e));
         out
     }
 

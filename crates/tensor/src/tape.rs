@@ -251,7 +251,13 @@ impl Tape {
         assert!((0.0..1.0).contains(&p), "dropout probability out of range");
         let keep = 1.0 - p;
         let mask: Vec<f32> = (0..self.value(x).as_flat().len())
-            .map(|_| if rng.gen::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .map(|_| {
+                if rng.gen::<f32>() < keep {
+                    1.0 / keep
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mut v = self.value(x).clone();
         for (a, &m) in v.as_flat_mut().iter_mut().zip(&mask) {
@@ -320,8 +326,16 @@ impl Tape {
     ///
     /// Panics if the score vectors are not single-column with enough rows.
     pub fn edge_scores(&mut self, target: NodeId, source: NodeId, adj: Arc<CsrAdj>) -> NodeId {
-        assert_eq!(self.value(target).cols(), 1, "target scores must be a column");
-        assert_eq!(self.value(source).cols(), 1, "source scores must be a column");
+        assert_eq!(
+            self.value(target).cols(),
+            1,
+            "target scores must be a column"
+        );
+        assert_eq!(
+            self.value(source).cols(),
+            1,
+            "source scores must be a column"
+        );
         assert!(self.value(target).rows() >= adj.num_targets);
         assert!(self.value(source).rows() >= adj.num_sources);
         let mut v = Matrix::zeros(adj.num_edges(), 1);
@@ -334,7 +348,14 @@ impl Tape {
                 k += 1;
             }
         }
-        self.push(Op::EdgeScores { target, source, adj }, v)
+        self.push(
+            Op::EdgeScores {
+                target,
+                source,
+                adj,
+            },
+            v,
+        )
     }
 
     /// Softmax of per-edge logits within each target's edge group.
@@ -596,8 +617,9 @@ impl Tape {
                         }
                         let w = match mode {
                             AggMode::Mean => 1.0 / (hi - lo) as f32,
-                            AggMode::Sum => 1.0,
-                            AggMode::Max => unreachable!(),
+                            // Max rows take the dedicated argmax path above
+                            // (`continue`); the arm exists only for the type.
+                            AggMode::Sum | AggMode::Max => 1.0,
                         };
                         for &s in &adj.col[lo..hi] {
                             let gt = g.row(t).to_vec();
@@ -608,7 +630,11 @@ impl Tape {
                     }
                     self.accumulate(x, gx);
                 }
-                Op::EdgeScores { target, source, adj } => {
+                Op::EdgeScores {
+                    target,
+                    source,
+                    adj,
+                } => {
                     let (target, source) = (*target, *source);
                     let adj = Arc::clone(&adj.clone());
                     let mut gt = Matrix::zeros(self.nodes[target.0].value.rows(), 1);
@@ -617,8 +643,8 @@ impl Tape {
                     for t in 0..adj.num_targets {
                         for &s in &adj.col[adj.row_ptr[t]..adj.row_ptr[t + 1]] {
                             let gv = g.get(k, 0);
-                            *gt.row_mut(t).first_mut().unwrap() += gv;
-                            *gs.row_mut(s as usize).first_mut().unwrap() += gv;
+                            gt.set(t, 0, gt.get(t, 0) + gv);
+                            gs.set(s as usize, 0, gs.get(s as usize, 0) + gv);
                             k += 1;
                         }
                     }
@@ -652,8 +678,7 @@ impl Tape {
                             let gt = g.row(t).to_vec();
                             let xs = self.nodes[x.0].value.row(s as usize).to_vec();
                             let mut acc = 0.0f32;
-                            for ((o, gv), xv) in
-                                gx.row_mut(s as usize).iter_mut().zip(&gt).zip(&xs)
+                            for ((o, gv), xv) in gx.row_mut(s as usize).iter_mut().zip(&gt).zip(&xs)
                             {
                                 *o += wv * gv;
                                 acc += gv * xv;
@@ -859,7 +884,11 @@ mod tests {
     #[test]
     fn sparse_max_forward_values() {
         let mut tape = Tape::new();
-        let x = tape.input(Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5], &[-1.0, 4.0]]));
+        let x = tape.input(Matrix::from_rows(&[
+            &[1.0, -2.0],
+            &[3.0, 0.5],
+            &[-1.0, 4.0],
+        ]));
         let adj = test_adj();
         let y = tape.sparse_agg(x, adj, AggMode::Max);
         // t0 <- max of rows {0,1,2} = [3.0, 4.0]; t1 <- row 2 = [-1.0, 4.0].

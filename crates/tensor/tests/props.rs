@@ -1,11 +1,19 @@
 //! Property-based tests for the tensor engine.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use proptest::prelude::*;
 use spp_tensor::{Matrix, Tape};
 
 fn arb_matrix(r: usize, c: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-5.0f32..5.0, r * c)
-        .prop_map(move |data| Matrix::from_flat(r, c, data))
+    prop::collection::vec(-5.0f32..5.0, r * c).prop_map(move |data| Matrix::from_flat(r, c, data))
 }
 
 proptest! {

@@ -1,0 +1,164 @@
+//! `cargo xtask` — workspace maintenance commands.
+//!
+//! Currently one subcommand:
+//!
+//! ```text
+//! cargo xtask lint [--json] [--root <dir>]
+//! ```
+//!
+//! runs the SALIENT++ invariant linter (rules L1–L5, see
+//! [`rules`] and DESIGN.md § "Correctness gates") over every library
+//! source in the workspace and exits nonzero on findings.
+//!
+//! Scope: `src/**` of every `crates/*` member plus the facade crate's
+//! `src/`, excluding binary targets (`**/bin/**`), the dependency shims
+//! under `shims/` (they emulate external-crate APIs, panics included),
+//! and this xtask itself. Tests, benches, and examples are exempt by
+//! construction — the invariants gate *library* hot paths.
+
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
+mod report;
+mod rules;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo xtask <command>\n\
+         commands:\n\
+           lint [--json] [--root <dir>]   run the workspace invariant linter"
+    );
+    ExitCode::from(2)
+}
+
+/// Locates the workspace root: `--root` wins, else the xtask manifest's
+/// grandparent (crates/xtask -> workspace).
+fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    Some(manifest.parent()?.parent()?.to_path_buf())
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative lint targets, deterministically ordered.
+fn lint_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for m in members {
+            if m.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
+    Ok(files)
+}
+
+fn run_lint(json: bool, root: Option<PathBuf>) -> ExitCode {
+    let Some(root) = workspace_root(root) else {
+        eprintln!("spp-lint: cannot determine workspace root");
+        return ExitCode::from(2);
+    };
+    let targets = match lint_targets(&root) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("spp-lint: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &targets {
+        let src = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("spp-lint: reading {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scanned += 1;
+        findings.extend(rules::check_file(&scan::scan_source(&rel, &src)));
+    }
+    findings.sort();
+    if json {
+        print!("{}", report::render_json(&findings, scanned));
+    } else {
+        print!("{}", report::render_text(&findings, scanned));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return usage();
+    };
+    match cmd.as_str() {
+        "lint" => {
+            let mut json = false;
+            let mut root = None;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--root" => match it.next() {
+                        Some(r) => root = Some(PathBuf::from(r)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            run_lint(json, root)
+        }
+        _ => usage(),
+    }
+}

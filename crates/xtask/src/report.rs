@@ -1,0 +1,119 @@
+//! Text and JSON rendering of lint findings.
+//!
+//! JSON is hand-rolled (the offline workspace carries no serde); the
+//! shape is stable and consumed by `results/lint_baseline.json` diffing
+//! in CI:
+//!
+//! ```json
+//! {
+//!   "findings": [{"rule": "...", "file": "...", "line": 1, "message": "..."}],
+//!   "counts": {"l1-no-panic": 0, ...},
+//!   "total": 0,
+//!   "files_scanned": 42
+//! }
+//! ```
+
+use crate::rules::{Finding, RULE_IDS};
+use std::collections::BTreeMap;
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as human-readable `file:line: [rule] message` lines
+/// plus a summary.
+pub fn render_text(findings: &[Finding], files_scanned: usize) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&format!(
+            "{}:{}: [{}] {}\n",
+            f.path, f.line, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "spp-lint: {} finding(s) in {} file(s) scanned\n",
+        findings.len(),
+        files_scanned
+    ));
+    out
+}
+
+/// Renders findings as the stable machine-readable JSON document.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let mut counts: BTreeMap<&str, usize> = RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    for f in findings {
+        *counts.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+    let items: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                json_escape(&f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    let count_items: Vec<String> = counts
+        .iter()
+        .map(|(r, n)| format!("    \"{}\": {}", json_escape(r), n))
+        .collect();
+    format!(
+        "{{\n  \"findings\": [\n{}\n  ],\n  \"counts\": {{\n{}\n  }},\n  \"total\": {},\n  \"files_scanned\": {}\n}}\n",
+        items.join(",\n"),
+        count_items.join(",\n"),
+        findings.len(),
+        files_scanned
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![Finding {
+            path: "crates/core/src/vip.rs".to_string(),
+            line: 7,
+            rule: "l5-prob-clamp".to_string(),
+            message: "needs \"clamp01\"".to_string(),
+        }]
+    }
+
+    #[test]
+    fn text_contains_location_and_summary() {
+        let t = render_text(&sample(), 3);
+        assert!(t.contains("crates/core/src/vip.rs:7: [l5-prob-clamp]"));
+        assert!(t.contains("1 finding(s) in 3 file(s)"));
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = render_json(&sample(), 3);
+        assert!(j.contains("\\\"clamp01\\\""));
+        assert!(j.contains("\"l5-prob-clamp\": 1"));
+        assert!(j.contains("\"l1-no-panic\": 0"));
+        assert!(j.contains("\"total\": 1"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+
+    #[test]
+    fn empty_findings_render_cleanly() {
+        let j = render_json(&[], 0);
+        assert!(j.contains("\"total\": 0"));
+    }
+}

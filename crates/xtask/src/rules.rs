@@ -1,0 +1,604 @@
+//! The SALIENT++ workspace invariant rules.
+//!
+//! Each rule is phrased so a lexical check over the cleaned source (see
+//! [`crate::scan`]) is sufficient — no type information required:
+//!
+//! | id              | invariant                                                      |
+//! |-----------------|----------------------------------------------------------------|
+//! | `l1-no-panic`   | library code never `unwrap`/`expect`/`panic!` (hot paths must  |
+//! |                 | surface the workspace error types instead of aborting an epoch)|
+//! | `l2-csr-index`  | CSR offset/column arrays are only indexed inside the checked   |
+//! |                 | accessors in `crates/graph/src/csr.rs`                         |
+//! | `l3-unordered-iter` | ordering-sensitive modules (cache ranking, reorder         |
+//! |                 | permutations, partition assignment) never iterate a            |
+//! |                 | `HashMap`/`HashSet` — replicas must rank identically           |
+//! | `l4-unbounded`  | no `std::thread::spawn` / unbounded channels outside           |
+//! |                 | `spp-runtime`; pipeline stages use bounded queues              |
+//! | `l5-prob-clamp` | VIP modules route every computed probability store through     |
+//! |                 | `clamp01` (Proposition 1: `p ∈ [0, 1]`)                        |
+//!
+//! Suppress a finding with
+//! `// spp-lint: allow(<rule>): <justification>` (trailing or on the
+//! preceding line; `//!` form for file scope). The justification is
+//! mandatory.
+
+use crate::scan::SourceFile;
+
+/// One diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (e.g. `l1-no-panic`).
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// All rule ids, for pragma validation and `--json` counts.
+pub const RULE_IDS: [&str; 5] = [
+    "l1-no-panic",
+    "l2-csr-index",
+    "l3-unordered-iter",
+    "l4-unbounded",
+    "l5-prob-clamp",
+];
+
+/// True when `s[idx]` is preceded by an identifier character (so `idx`
+/// does not start a standalone token).
+fn has_ident_prefix(s: &str, idx: usize) -> bool {
+    s[..idx]
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// Byte offsets of standalone occurrences of `needle` in `hay`: the
+/// match must not butt against identifier characters on the sides where
+/// the needle itself starts/ends with one (so `.unwrap` matches in
+/// `x.unwrap()` but not `x.unwrap_or(..)`).
+fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+    let ident_start = needle
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let ident_end = needle
+        .chars()
+        .next_back()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = hay[from..].find(needle) {
+        let at = from + p;
+        let end = at + needle.len();
+        let pre_ok = !ident_start || !has_ident_prefix(hay, at);
+        let post_ok = !ident_end
+            || !hay[end..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if pre_ok && post_ok {
+            out.push(at);
+        }
+        from = end;
+    }
+    out
+}
+
+fn applies_l1(path: &str) -> bool {
+    // All linted library sources.
+    let _ = path;
+    true
+}
+
+/// L1: no `unwrap()` / `expect(..)` / panic-family macros in library
+/// code.
+fn check_l1(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const MACROS: [&str; 4] = ["panic!", "unreachable!", "todo!", "unimplemented!"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l1-no-panic") {
+            continue;
+        }
+        let t = &line.cleaned;
+        let mut hits: Vec<String> = Vec::new();
+        for p in token_positions(t, ".unwrap") {
+            if t[p + 7..].starts_with("()") {
+                hits.push(".unwrap()".to_string());
+            }
+        }
+        for p in token_positions(t, ".expect") {
+            if t[p + 7..].starts_with('(') {
+                hits.push(".expect(..)".to_string());
+            }
+        }
+        for m in MACROS {
+            let bare = &m[..m.len() - 1];
+            for p in token_positions(t, bare) {
+                if t[p + bare.len()..].starts_with('!') {
+                    hits.push(m.to_string());
+                }
+            }
+        }
+        for h in hits {
+            findings.push(Finding {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "l1-no-panic".to_string(),
+                message: format!(
+                    "{h} in library code; return the crate error type (hot \
+                     paths must not abort mid-epoch)"
+                ),
+            });
+        }
+    }
+}
+
+fn applies_l2(path: &str) -> bool {
+    path != "crates/graph/src/csr.rs"
+        && (path.starts_with("crates/graph/src")
+            || path.starts_with("crates/sampler/src")
+            || path.starts_with("crates/core/src"))
+}
+
+/// L2: CSR arrays are only indexed via the checked accessors.
+fn check_l2(file: &SourceFile, findings: &mut Vec<Finding>) {
+    // Names of CSR offset/column arrays; `row_ptr()[` / `col()[` catch
+    // raw indexing through the accessor getters as well.
+    const ARRAYS: [&str; 5] = ["row_ptr", "indptr", "indices", "col_idx", "row_offsets"];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l2-csr-index") {
+            continue;
+        }
+        let t = &line.cleaned;
+        for name in ARRAYS {
+            for p in token_positions(t, name) {
+                let rest = &t[p + name.len()..];
+                if rest.starts_with('[') || rest.starts_with("()[") {
+                    findings.push(Finding {
+                        path: file.rel_path.clone(),
+                        line: idx + 1,
+                        rule: "l2-csr-index".to_string(),
+                        message: format!(
+                            "raw indexing into CSR array `{name}`; use the \
+                             checked CsrGraph accessors (neighbors/degree) \
+                             instead"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Files whose outputs feed deterministic, replica-agreed rankings.
+fn applies_l3(path: &str) -> bool {
+    const ORDER_SENSITIVE: [&str; 8] = [
+        "crates/core/src/policies.rs",
+        "crates/core/src/cache.rs",
+        "crates/core/src/reorder.rs",
+        "crates/core/src/vip.rs",
+        "crates/core/src/vip_general.rs",
+        "crates/core/src/vip_partition.rs",
+        "crates/core/src/feature_store.rs",
+        "crates/partition/src/",
+    ];
+    ORDER_SENSITIVE.iter().any(|p| path.starts_with(p))
+}
+
+/// L3: no iteration over `HashMap`/`HashSet` in ordering-sensitive code.
+///
+/// First collects names bound to hash collections (`x: HashMap<..>`,
+/// `x = HashMap::new()`, …), then flags `x.iter()` / `x.keys()` /
+/// `x.values()` / `x.drain(..)` / `x.into_iter()` / `for .. in [&]x`.
+fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let mut hash_names: Vec<String> = Vec::new();
+    for line in &file.lines {
+        let t = &line.cleaned;
+        for ty in ["HashMap", "HashSet"] {
+            for p in token_positions(t, ty) {
+                // Look left for `name :` or `name =` (skipping
+                // `let`/`mut`/`&`/whitespace and generics of `=`-form).
+                let before = t[..p].trim_end();
+                let before = before
+                    .strip_suffix(':')
+                    .or_else(|| before.strip_suffix('='))
+                    .or_else(|| before.strip_suffix("::<"))
+                    .unwrap_or("");
+                let name: String = before
+                    .trim_end()
+                    .chars()
+                    .rev()
+                    .take_while(|c| c.is_alphanumeric() || *c == '_')
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .rev()
+                    .collect();
+                if !name.is_empty() && !hash_names.contains(&name) {
+                    hash_names.push(name);
+                }
+            }
+        }
+    }
+    const ITERS: [&str; 5] = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l3-unordered-iter") {
+            continue;
+        }
+        let t = &line.cleaned;
+        for name in &hash_names {
+            for p in token_positions(t, name) {
+                let rest = &t[p + name.len()..];
+                let iterated = ITERS.iter().any(|it| rest.starts_with(it));
+                // `for .. in [&|&mut ][self.]name`
+                let mut pre = t[..p].trim_end();
+                for strip in ["self.", "&mut", "&"] {
+                    pre = pre.strip_suffix(strip).unwrap_or(pre).trim_end();
+                }
+                let in_for = (pre.ends_with(" in") || pre == "in") && t.contains("for ");
+                if iterated || in_for {
+                    findings.push(Finding {
+                        path: file.rel_path.clone(),
+                        line: idx + 1,
+                        rule: "l3-unordered-iter".to_string(),
+                        message: format!(
+                            "iteration over hash collection `{name}` in \
+                             ordering-sensitive code; use BTreeMap/BTreeSet \
+                             or sort explicitly so replicas rank identically"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn applies_l4(path: &str) -> bool {
+    !path.starts_with("crates/runtime/src")
+}
+
+/// L4: no `std::thread::spawn` or unbounded channels outside
+/// `spp-runtime`. (Structured fork-join via scoped threads is allowed —
+/// it cannot leak threads or queues.)
+fn check_l4(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const BANNED: [(&str, &str); 4] = [
+        (
+            "thread::spawn(",
+            "free-running thread; pipeline stages belong to spp-runtime's bounded executor",
+        ),
+        (
+            "mpsc::channel(",
+            "unbounded std channel; use a bounded queue (mpsc::sync_channel) so stages backpressure",
+        ),
+        (
+            "channel::unbounded",
+            "unbounded crossbeam channel; use a bounded queue so stages backpressure",
+        ),
+        (
+            "unbounded_channel",
+            "unbounded channel; use a bounded queue so stages backpressure",
+        ),
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l4-unbounded") {
+            continue;
+        }
+        let t = &line.cleaned;
+        for (pat, why) in BANNED {
+            let mut from = 0;
+            while let Some(p) = t[from..].find(pat) {
+                let at = from + p;
+                if !has_ident_prefix(t, at) {
+                    findings.push(Finding {
+                        path: file.rel_path.clone(),
+                        line: idx + 1,
+                        rule: "l4-unbounded".to_string(),
+                        message: format!(
+                            "`{}` outside spp-runtime: {why}",
+                            pat.trim_end_matches('(')
+                        ),
+                    });
+                }
+                from = at + pat.len();
+            }
+        }
+    }
+}
+
+fn applies_l5(path: &str) -> bool {
+    matches!(
+        path,
+        "crates/core/src/vip.rs"
+            | "crates/core/src/vip_general.rs"
+            | "crates/core/src/vip_partition.rs"
+    )
+}
+
+/// L5: probability stores in the VIP modules go through `clamp01`.
+///
+/// Flags indexed stores (`buf[i] = expr;`) and deref stores
+/// (`*slot = expr;`) into probability buffers (see [`is_prob_target`])
+/// whose right-hand side is a computed expression not wrapped in
+/// `clamp01(..)`. Bare identifiers, field accesses, and numeric
+/// literals are allowed (copies of already-clamped values). Stores into
+/// non-probability buffers (partition assignments, load counters) are
+/// out of scope.
+fn check_l5(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l5-prob-clamp") {
+            continue;
+        }
+        let t = line.cleaned.trim();
+        let Some((lhs, rhs)) = split_assignment(t) else {
+            continue;
+        };
+        let indexed_store = lhs.ends_with(']') && lhs.contains('[') && !lhs.contains("..");
+        let deref_store = lhs.starts_with('*');
+        if !indexed_store && !deref_store {
+            continue;
+        }
+        if !is_prob_target(lhs) {
+            continue;
+        }
+        let rhs = rhs.trim().trim_end_matches(';').trim();
+        if rhs.contains("clamp01(") || is_simple_expr(rhs) {
+            continue;
+        }
+        findings.push(Finding {
+            path: file.rel_path.clone(),
+            line: idx + 1,
+            rule: "l5-prob-clamp".to_string(),
+            message: "computed probability store must pass through clamp01 \
+                      (Proposition 1: p ∈ [0, 1])"
+                .to_string(),
+        });
+    }
+}
+
+/// Splits `lhs = rhs` at a plain assignment `=` (not `==`, `<=`, `=>`,
+/// compound `+=`, …). Returns `None` for non-assignments.
+fn split_assignment(t: &str) -> Option<(&str, &str)> {
+    let bytes = t.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'=' {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|j| bytes[j]);
+        let next = bytes.get(i + 1);
+        let compound = matches!(
+            prev,
+            Some(b'=' | b'!' | b'<' | b'>' | b'+' | b'-' | b'*' | b'/' | b'%' | b'&' | b'|' | b'^')
+        );
+        if compound || next == Some(&b'=') || next == Some(&b'>') {
+            // Skip the full operator to avoid re-matching its tail.
+            continue;
+        }
+        // `*slot = ..` keeps the `*`; it marks a deref store, not `*=`.
+        return Some((t[..i].trim(), &t[i + 1..]));
+    }
+    None
+}
+
+/// True when a store target names a probability buffer. The VIP modules
+/// use a small fixed vocabulary for these (`cur`/`prev` hop vectors,
+/// `out`/`o` combined values, anything mentioning prob/vip/score/hop);
+/// integer bookkeeping (`loads`, `limits`, `assignment`, …) is excluded.
+fn is_prob_target(lhs: &str) -> bool {
+    let name: String = lhs
+        .trim_start_matches('*')
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let name = name.to_ascii_lowercase();
+    matches!(
+        name.as_str(),
+        "cur" | "prev" | "out" | "o" | "p" | "probs" | "hops"
+    ) || ["prob", "vip", "score", "hop"]
+        .iter()
+        .any(|k| name.contains(k))
+}
+
+/// True for identifiers, field paths, numeric literals — values assumed
+/// already clamped at their own definition site.
+fn is_simple_expr(rhs: &str) -> bool {
+    !rhs.is_empty()
+        && rhs
+            .chars()
+            .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
+}
+
+/// Runs every applicable rule over `file`, including malformed-pragma
+/// diagnostics.
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (line, msg) in &file.bad_pragmas {
+        findings.push(Finding {
+            path: file.rel_path.clone(),
+            line: *line,
+            rule: "pragma".to_string(),
+            message: msg.clone(),
+        });
+    }
+    let path = file.rel_path.as_str();
+    if applies_l1(path) {
+        check_l1(file, &mut findings);
+    }
+    if applies_l2(path) {
+        check_l2(file, &mut findings);
+    }
+    if applies_l3(path) {
+        check_l3(file, &mut findings);
+    }
+    if applies_l4(path) {
+        check_l4(file, &mut findings);
+    }
+    if applies_l5(path) {
+        check_l5(file, &mut findings);
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan_source;
+
+    fn lint(path: &str, src: &str) -> Vec<Finding> {
+        check_file(&scan_source(path, src))
+    }
+
+    fn rules_of(f: &[Finding]) -> Vec<&str> {
+        f.iter().map(|x| x.rule.as_str()).collect()
+    }
+
+    // ---- L1 ----
+
+    #[test]
+    fn l1_flags_unwrap_expect_panics() {
+        let src = "fn f() {\n  let x = y.unwrap();\n  let z = w.expect(\"m\");\n  panic!(\"boom\");\n  unreachable!();\n}";
+        let f = lint("crates/core/src/cache.rs", src);
+        assert_eq!(rules_of(&f), vec!["l1-no-panic"; 4], "findings: {f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l1_ignores_unwrap_or_family_and_comments() {
+        let src = "fn f() {\n  a.unwrap_or(0);\n  a.unwrap_or_else(|| 1);\n  a.unwrap_or_default();\n  b.expect_err(\"x\");\n  // c.unwrap()\n}";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_skips_cfg_test_modules() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); panic!(); }\n}";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l1_pragma_suppresses_with_justification() {
+        let src = "fn f() {\n  x.unwrap(); // spp-lint: allow(l1-no-panic): len checked above\n}";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    // ---- L2 ----
+
+    #[test]
+    fn l2_flags_raw_csr_indexing() {
+        let src = "fn f(g: &CsrGraph, v: usize) -> &[u32] {\n  &g.col()[g.row_ptr()[v]..g.row_ptr()[v + 1]]\n}";
+        let f = lint("crates/sampler/src/sample.rs", src);
+        assert!(f.iter().all(|x| x.rule == "l2-csr-index"));
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn l2_allows_inside_csr_module_and_other_crates() {
+        let src = "fn f(&self) { self.row_ptr[0]; }";
+        assert!(lint("crates/graph/src/csr.rs", src).is_empty());
+        assert!(lint("crates/comm/src/net.rs", src).is_empty());
+    }
+
+    // ---- L3 ----
+
+    #[test]
+    fn l3_flags_hash_iteration_in_ordering_sensitive_file() {
+        let src = "use std::collections::HashMap;\nfn rank() {\n  let scores: HashMap<u32, f64> = HashMap::new();\n  for (v, s) in scores.iter() { body(v, s); }\n}";
+        let f = lint("crates/core/src/policies.rs", src);
+        assert_eq!(rules_of(&f), vec!["l3-unordered-iter"], "{f:?}");
+    }
+
+    #[test]
+    fn l3_allows_membership_lookups() {
+        let src = "use std::collections::HashMap;\nstruct C { slots: HashMap<u32, u32> }\nimpl C {\n  fn slot_of(&self, v: u32) -> Option<u32> { self.slots.get(&v).copied() }\n}";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_not_applied_outside_sensitive_files() {
+        let src = "use std::collections::HashMap;\nfn f() {\n  let m: HashMap<u32, u32> = HashMap::new();\n  for x in m.iter() { g(x); }\n}";
+        assert!(lint("crates/comm/src/net.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l3_flags_for_loop_over_hash() {
+        let src = "use std::collections::HashSet;\nfn f() {\n  let seen: HashSet<u32> = HashSet::new();\n  for v in &seen { g(v); }\n}";
+        let f = lint("crates/partition/src/simple.rs", src);
+        assert_eq!(rules_of(&f), vec!["l3-unordered-iter"], "{f:?}");
+    }
+
+    // ---- L4 ----
+
+    #[test]
+    fn l4_flags_spawn_and_unbounded_channels() {
+        let src = "fn f() {\n  std::thread::spawn(|| {});\n  let (tx, rx) = std::sync::mpsc::channel();\n}";
+        let f = lint("crates/comm/src/net.rs", src);
+        assert_eq!(rules_of(&f), vec!["l4-unbounded"; 2], "{f:?}");
+    }
+
+    #[test]
+    fn l4_allows_runtime_and_bounded() {
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(lint("crates/runtime/src/pipeline.rs", spawn).is_empty());
+        let bounded = "fn f() { let (tx, rx) = std::sync::mpsc::sync_channel(4); }";
+        assert!(lint("crates/comm/src/net.rs", bounded).is_empty());
+    }
+
+    #[test]
+    fn l4_allows_scoped_fork_join() {
+        let src = "fn f() {\n  crossbeam::thread::scope(|s| { s.spawn(move |_| work()); });\n}";
+        assert!(lint("crates/core/src/vip.rs", src).is_empty());
+    }
+
+    // ---- L5 ----
+
+    #[test]
+    fn l5_flags_unclamped_computed_store() {
+        let src =
+            "fn f(cur: &mut [f64], u: usize, log_miss: f64) {\n  cur[u] = 1.0 - log_miss.exp();\n}";
+        let f = lint("crates/core/src/vip.rs", src);
+        assert_eq!(rules_of(&f), vec!["l5-prob-clamp"], "{f:?}");
+    }
+
+    #[test]
+    fn l5_allows_clamped_simple_and_compound() {
+        let src = "fn f(cur: &mut [f64], o: &mut f64, u: usize, p: f64, lm: f64) {\n  cur[u] = clamp01(1.0 - lm.exp());\n  cur[u] = p;\n  cur[u] = 0.0;\n  *o = clamp01(1.0 - lm.exp());\n  lm += x;\n  let y = a - b;\n}";
+        assert!(lint("crates/core/src/vip.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_flags_deref_store() {
+        let src = "fn f(o: &mut f64, lm: f64) {\n  *o = 1.0 - lm.exp();\n}";
+        let f = lint("crates/core/src/vip.rs", src);
+        assert_eq!(rules_of(&f), vec!["l5-prob-clamp"], "{f:?}");
+    }
+
+    #[test]
+    fn l5_ignores_non_probability_buffers() {
+        let src = "fn f(loads: &mut [u64], assignment: &mut [u32], c: usize, w: u64, dst: u32) {\n  loads[c] = loads[c].max(w);\n  assignment[c] = dst as u32;\n}";
+        assert!(lint("crates/core/src/vip_partition.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l5_not_applied_outside_vip_files() {
+        let src = "fn f(c: &mut [f64], u: usize, lm: f64) { c[u] = 1.0 - lm.exp(); }";
+        assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    // ---- engine ----
+
+    #[test]
+    fn malformed_pragma_reported() {
+        let src = "fn f() { x.unwrap() } // spp-lint: allow(l1-no-panic)";
+        let f = lint("crates/core/src/cache.rs", src);
+        assert!(f.iter().any(|x| x.rule == "pragma"), "{f:?}");
+        assert!(f.iter().any(|x| x.rule == "l1-no-panic"), "{f:?}");
+    }
+
+    #[test]
+    fn findings_sorted_and_stable() {
+        let src = "fn f() {\n  b.unwrap();\n  a.unwrap();\n}";
+        let f = lint("crates/core/src/cache.rs", src);
+        assert_eq!(f.len(), 2);
+        assert!(f[0].line < f[1].line);
+    }
+}

@@ -4,6 +4,15 @@
 //!
 //! Run with: `cargo run --release --example caching_policies`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 use spp_core::policies::PolicyContext;
 
@@ -34,7 +43,10 @@ fn main() {
     let no_cache = counts.no_cache_volume(&partitioning);
     println!("no caching: {no_cache:.0} remote vertices/epoch\n");
 
-    println!("{:<8} {:>10} {:>10} {:>10}", "policy", "a=0.05", "a=0.20", "a=0.50");
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "policy", "a=0.05", "a=0.20", "a=0.50"
+    );
     for policy in [
         CachePolicy::Degree,
         CachePolicy::OneHopHalo,
@@ -66,8 +78,7 @@ fn main() {
         let mut row = format!("{:<8}", policy.label());
         for alpha in [0.05, 0.20, 0.50] {
             let builder = CacheBuilder::new(alpha, ds.num_vertices(), k);
-            let caches: Vec<StaticCache> =
-                rankings.iter().map(|r| builder.build(r)).collect();
+            let caches: Vec<StaticCache> = rankings.iter().map(|r| builder.build(r)).collect();
             let vol = counts.total_volume(&partitioning, &caches);
             row.push_str(&format!(" {:>9.0}", vol));
         }

@@ -5,6 +5,15 @@
 //!
 //! Run with: `cargo run --release --example distributed_training`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 
 fn main() {
@@ -71,10 +80,22 @@ fn main() {
     let cost = CostModel::mini_calibrated();
     let h = 32usize;
     let rows = [
-        ("SALIENT (full replication)", EpochSim::new(&bare, cost, SystemSpec::salient(h))),
-        ("+ partitioned features", EpochSim::new(&bare, cost, SystemSpec::partitioned(h))),
-        ("+ pipelined communication", EpochSim::new(&bare, cost, SystemSpec::pipelined(h))),
-        ("+ VIP feature caching", EpochSim::new(&cached, cost, SystemSpec::pipelined(h))),
+        (
+            "SALIENT (full replication)",
+            EpochSim::new(&bare, cost, SystemSpec::salient(h)),
+        ),
+        (
+            "+ partitioned features",
+            EpochSim::new(&bare, cost, SystemSpec::partitioned(h)),
+        ),
+        (
+            "+ pipelined communication",
+            EpochSim::new(&bare, cost, SystemSpec::pipelined(h)),
+        ),
+        (
+            "+ VIP feature caching",
+            EpochSim::new(&cached, cost, SystemSpec::pipelined(h)),
+        ),
     ];
     for (label, sim) in rows {
         let t = sim.simulate_epoch(0);

@@ -3,6 +3,15 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 use spp_gnn::TrainConfig;
 
@@ -33,7 +42,10 @@ fn main() {
     let mut trainer = Trainer::new(&ds, cfg);
     let report = trainer.train();
     for e in &report.epochs {
-        println!("epoch {}: loss {:.4} ({} batches)", e.epoch, e.loss, e.batches);
+        println!(
+            "epoch {}: loss {:.4} ({} batches)",
+            e.epoch, e.loss, e.batches
+        );
     }
     println!(
         "val accuracy {:.3}, test accuracy {:.3}",

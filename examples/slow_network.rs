@@ -5,6 +5,15 @@
 //!
 //! Run with: `cargo run --release --example slow_network`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::comm::NetworkModel;
 use salientpp::prelude::*;
 
@@ -16,15 +25,17 @@ fn main() {
 
     // Throttle the 25 Gbps link down to 2 Gbps with a token-bucket
     // filter, as the paper does with Linux tc/TBF.
-    let slow = CostModel::default()
-        .with_network(NetworkModel::aws_25gbps().with_tbf_gbps(2.0));
+    let slow = CostModel::default().with_network(NetworkModel::aws_25gbps().with_tbf_gbps(2.0));
 
     println!(
         "dataset {} ({} features) on {k} machines, 2 Gbps network",
         ds.name,
         ds.features.dim()
     );
-    println!("{:<8} {:>14} {:>14}", "alpha", "VIP-analytic", "VIP-simulation");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "alpha", "VIP-analytic", "VIP-simulation"
+    );
     for alpha in [0.0, 0.08, 0.16, 0.32, 0.64] {
         let mut times = Vec::new();
         for policy in [CachePolicy::VipAnalytic, CachePolicy::Simulation] {
@@ -34,7 +45,11 @@ fn main() {
                     num_machines: k,
                     fanouts: fanouts.clone(),
                     batch_size: 32,
-                    policy: if alpha == 0.0 { CachePolicy::None } else { policy },
+                    policy: if alpha == 0.0 {
+                        CachePolicy::None
+                    } else {
+                        policy
+                    },
                     alpha,
                     beta: 0.1,
                     vip_reorder: true,

@@ -6,6 +6,15 @@
 //!
 //! Run with: `cargo run --release --example vip_analysis`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use rand::SeedableRng;
 use salientpp::prelude::*;
 
@@ -68,7 +77,10 @@ fn main() {
     // sampled neighborhoods.
     let cache_size = n / 20; // 5% of the graph
     let cache = StaticCache::from_members(
-        &ranked[..cache_size].iter().map(|&v| v as VertexId).collect::<Vec<_>>(),
+        &ranked[..cache_size]
+            .iter()
+            .map(|&v| v as VertexId)
+            .collect::<Vec<_>>(),
     );
     let sampler = NodeWiseSampler::new(&ds.graph, fanouts);
     let mut rng = rand::rngs::StdRng::seed_from_u64(3);

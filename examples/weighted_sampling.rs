@@ -7,6 +7,15 @@
 //!
 //! Run with: `cargo run --release --example weighted_sampling`
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use salientpp::core::vip_general::{GeneralVipModel, UniformTransitions, WeightedTransitions};
@@ -64,8 +73,7 @@ fn main() {
                     .iter()
                     .enumerate()
                     .filter(|&(v, _)| {
-                        part.part_of(v as VertexId) != m as u32
-                            && !cache.contains(v as VertexId)
+                        part.part_of(v as VertexId) != m as u32 && !cache.contains(v as VertexId)
                     })
                     .map(|(_, &c)| c as f64)
                     .sum::<f64>()
@@ -81,7 +89,10 @@ fn main() {
                     .filter(|&v| part.part_of(v) != m as u32 && s[v as usize] > 0.0)
                     .collect();
                 remote.sort_by(|&a, &b| {
-                    s[b as usize].partial_cmp(&s[a as usize]).unwrap().then(a.cmp(&b))
+                    s[b as usize]
+                        .partial_cmp(&s[a as usize])
+                        .unwrap()
+                        .then(a.cmp(&b))
                 });
                 remote
             })
@@ -101,9 +112,18 @@ fn main() {
         )
     });
 
-    println!("degree-biased sampling on {} ({} vertices, {k} machines)\n", ds.name, n);
-    println!("{:<26} {:>12} {:>12}", "cache ranking model", "a=0.10", "a=0.30");
-    for (name, ranks) in [("uniform-model VIP", &uniform_ranks), ("weighted-model VIP", &weighted_ranks)] {
+    println!(
+        "degree-biased sampling on {} ({} vertices, {k} machines)\n",
+        ds.name, n
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "cache ranking model", "a=0.10", "a=0.30"
+    );
+    for (name, ranks) in [
+        ("uniform-model VIP", &uniform_ranks),
+        ("weighted-model VIP", &weighted_ranks),
+    ] {
         println!(
             "{:<26} {:>12.0} {:>12.0}",
             name,

@@ -47,6 +47,18 @@
 //! assert_eq!(setup.stores.len(), 2);
 //! ```
 
+// Test modules assert by panicking; the workspace panic-family denies
+// (see [workspace.lints] in Cargo.toml) apply to library code only.
+#![cfg_attr(
+    test,
+    allow(
+        clippy::unwrap_used,
+        clippy::expect_used,
+        clippy::panic,
+        clippy::float_cmp
+    )
+)]
+
 pub use spp_comm as comm;
 pub use spp_core as core;
 pub use spp_gnn as gnn;
@@ -72,6 +84,6 @@ pub mod prelude {
         AccessCounts, CostModel, DistTrainConfig, DistributedSetup, DistributedTrainer, EpochSim,
         SetupConfig, SystemSpec,
     };
-    pub use spp_sampler::{Fanouts, MinibatchIter, Mfg, NodeWiseSampler};
+    pub use spp_sampler::{Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
     pub use spp_tensor::{Adam, Matrix, Optimizer, Tape};
 }

@@ -137,7 +137,10 @@ fn cmd_generate(flags: &Flags) {
 fn cmd_stats(flags: &Flags) {
     let ds = load_dataset(flags);
     println!("{}:", ds.name);
-    println!("  {}", salientpp::graph::stats::GraphStats::compute(&ds.graph));
+    println!(
+        "  {}",
+        salientpp::graph::stats::GraphStats::compute(&ds.graph)
+    );
     println!(
         "  features: {} x {} ({:.1} MB); classes: {}; splits: {}/{}/{}",
         ds.features.num_rows(),
@@ -156,7 +159,9 @@ fn cmd_partition(flags: &Flags) {
     let seed: u64 = flags.num("seed", 0);
     let w = VertexWeights::from_dataset(&ds);
     let start = std::time::Instant::now();
-    let part = MultilevelPartitioner::new(k).seed(seed).partition(&ds.graph, &w);
+    let part = MultilevelPartitioner::new(k)
+        .seed(seed)
+        .partition(&ds.graph, &w);
     let dt = start.elapsed();
     let imb = spp_partition::metrics::imbalance(&part, &w);
     println!(

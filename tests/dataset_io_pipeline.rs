@@ -3,6 +3,15 @@
 //! in-memory path (the paper's artifact distributes preprocessed datasets
 //! this way).
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 use spp_runtime::DistTrainConfig;
 

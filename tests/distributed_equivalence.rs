@@ -6,6 +6,15 @@
 //! 2. Distributed data-parallel training learns, and caching changes the
 //!    communication volume but not the computed gradients.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 use spp_runtime::DistTrainConfig;
 
@@ -18,7 +27,13 @@ fn dataset(seed: u64) -> Dataset {
         .build()
 }
 
-fn setup(ds: &Dataset, k: usize, policy: CachePolicy, alpha: f64, vip_reorder: bool) -> DistributedSetup {
+fn setup(
+    ds: &Dataset,
+    k: usize,
+    policy: CachePolicy,
+    alpha: f64,
+    vip_reorder: bool,
+) -> DistributedSetup {
     DistributedSetup::build(
         ds,
         SetupConfig {
@@ -37,13 +52,24 @@ fn setup(ds: &Dataset, k: usize, policy: CachePolicy, alpha: f64, vip_reorder: b
 #[test]
 fn gather_bit_identical_across_policies_and_orderings() {
     let ds = dataset(1);
-    for policy in [CachePolicy::None, CachePolicy::Degree, CachePolicy::VipAnalytic] {
+    for policy in [
+        CachePolicy::None,
+        CachePolicy::Degree,
+        CachePolicy::VipAnalytic,
+    ] {
         for reorder in [false, true] {
-            let alpha = if policy == CachePolicy::None { 0.0 } else { 0.3 };
+            let alpha = if policy == CachePolicy::None {
+                0.0
+            } else {
+                0.3
+            };
             let s = setup(&ds, 3, policy, alpha, reorder);
             let trainer = DistributedTrainer::new(&s, DistTrainConfig::default());
             let checked = trainer.verify_gather(11);
-            assert!(checked > 200, "{policy:?}/{reorder}: too few vertices verified");
+            assert!(
+                checked > 200,
+                "{policy:?}/{reorder}: too few vertices verified"
+            );
         }
     }
 }
@@ -67,7 +93,11 @@ fn distributed_training_learns_with_cache() {
         "losses: {:?}",
         report.epoch_losses
     );
-    assert!(report.test_accuracy > 0.7, "accuracy {}", report.test_accuracy);
+    assert!(
+        report.test_accuracy > 0.7,
+        "accuracy {}",
+        report.test_accuracy
+    );
 }
 
 #[test]

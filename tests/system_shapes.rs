@@ -1,6 +1,15 @@
 //! Integration tests for the timing simulation's qualitative shapes —
 //! the claims behind Table 1 and Figures 4–8 must hold for any seed.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 
 fn dataset(seed: u64) -> Dataset {
@@ -43,7 +52,10 @@ fn table1_ladder_holds_across_seeds() {
         let part = EpochSim::new(&bare, cost, SystemSpec::partitioned(64)).simulate_epoch(0);
         let pipe = EpochSim::new(&bare, cost, SystemSpec::pipelined(64)).simulate_epoch(0);
         let spp = EpochSim::new(&cached, cost, SystemSpec::pipelined(64)).simulate_epoch(0);
-        assert!(part.makespan > 1.5 * full.makespan, "partitioning must hurt");
+        assert!(
+            part.makespan > 1.5 * full.makespan,
+            "partitioning must hurt"
+        );
         assert!(pipe.makespan < part.makespan, "pipelining must help");
         assert!(spp.makespan < pipe.makespan, "caching must help further");
         assert!(
@@ -88,9 +100,8 @@ fn distdgl_baseline_is_much_slower() {
 fn slow_network_amplifies_caching_benefit() {
     let ds = dataset(5);
     let fast = CostModel::mini_calibrated();
-    let slow = CostModel::mini_calibrated().with_network(
-        salientpp::comm::NetworkModel::new(2.5e9 / 8.0, 50e-6).with_tbf_gbps(0.5),
-    );
+    let slow = CostModel::mini_calibrated()
+        .with_network(salientpp::comm::NetworkModel::new(2.5e9 / 8.0, 50e-6).with_tbf_gbps(0.5));
     let bare = setup(&ds, 4, 0.0, 0.1);
     let cached = setup(&ds, 4, 0.4, 0.1);
     let gain_fast = EpochSim::new(&bare, fast, SystemSpec::pipelined(64))

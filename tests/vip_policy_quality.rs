@@ -2,6 +2,15 @@
 //! caching policy reduces measured communication volume, tracks the
 //! oracle closely, and beats structure-only heuristics.
 
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
 use salientpp::prelude::*;
 use spp_core::policies::PolicyContext;
 use spp_core::StaticCache;
@@ -104,7 +113,10 @@ fn vip_beats_degree_and_halo_heuristics() {
     let deg = volume_of(&f, CachePolicy::Degree, 0.5);
     let halo = volume_of(&f, CachePolicy::OneHopHalo, 0.5);
     assert!(vip < deg, "VIP {vip:.0} must beat degree {deg:.0}");
-    assert!(vip < halo * 1.02, "VIP {vip:.0} should match/beat 1-hop {halo:.0}");
+    assert!(
+        vip < halo * 1.02,
+        "VIP {vip:.0} should match/beat 1-hop {halo:.0}"
+    );
 }
 
 #[test]
