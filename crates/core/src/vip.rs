@@ -16,9 +16,43 @@
 //! implementation accumulates `ln(1 - t·p)` with `ln_1p` and
 //! exponentiates once per vertex per hop — the same `O(L(M+N))` sweep,
 //! numerically stable.
+//!
+//! # Execution strategies
+//!
+//! The recurrence is evaluated by one shared per-vertex kernel
+//! ([`VipModel::hop_scores_with`]) under two interchangeable sweep
+//! strategies:
+//!
+//! - **Dense** — every vertex every hop, `O(L(M+N))`, parallelized over
+//!   CSR-edge-balanced vertex chunks.
+//! - **Frontier-sparse** — only vertices whose out-neighborhood carries
+//!   nonzero `prev` mass are updated (`O(active)` per hop); candidates
+//!   are discovered through the transposed graph and everything outside
+//!   the frontier keeps the exact `+0.0` the dense sweep would produce,
+//!   so the two strategies are bit-identical.
+//!
+//! All parallel decomposition goes through [`spp_pool::WorkerPool`]:
+//! chunk boundaries are a pure function of the graph (vertex count and
+//! cumulative edge weight), and per-vertex results merge in index order,
+//! so scores are bit-identical for any worker count, serial included.
 
 use spp_graph::{CsrGraph, VertexId};
+use spp_pool::{balanced_ranges, WorkerPool};
 use spp_sampler::Fanouts;
+
+/// How [`VipModel::hop_scores_with`] evaluates each hop.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SweepStrategy {
+    /// Per-hop choice between dense and frontier-sparse, driven only by
+    /// the nonzero mass of the previous hop (deterministic: depends on
+    /// the data, never on timing).
+    #[default]
+    Auto,
+    /// Update every vertex every hop.
+    Dense,
+    /// Update only vertices with nonzero in-mass, via the transpose.
+    FrontierSparse,
+}
 
 /// Computes analytic vertex-inclusion probabilities.
 ///
@@ -75,38 +109,90 @@ impl VipModel {
     }
 
     /// Hop-wise VIP vectors `p[1..=L]` from arbitrary initial
-    /// probabilities (Proposition 1's recurrence).
+    /// probabilities (Proposition 1's recurrence), on the global pool
+    /// with automatic strategy selection.
     ///
     /// # Panics
     ///
     /// Panics if `p0.len() != graph.num_vertices()`.
     pub fn hop_scores(&self, graph: &CsrGraph, p0: &[f64]) -> Vec<Vec<f64>> {
+        self.hop_scores_with(WorkerPool::global(), graph, p0, SweepStrategy::Auto)
+    }
+
+    /// [`VipModel::hop_scores`] with an explicit pool and sweep
+    /// strategy. Results are bit-identical for every `(pool, strategy)`
+    /// combination — the strategy only changes which vertices are
+    /// *visited*, and the pool only changes which worker visits them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p0.len() != graph.num_vertices()`.
+    pub fn hop_scores_with(
+        &self,
+        pool: WorkerPool,
+        graph: &CsrGraph,
+        p0: &[f64],
+        strategy: SweepStrategy,
+    ) -> Vec<Vec<f64>> {
+        self.hop_scores_impl(pool, graph, None, None, p0, strategy)
+    }
+
+    fn hop_scores_impl(
+        &self,
+        pool: WorkerPool,
+        graph: &CsrGraph,
+        shared_transpose: Option<&CsrGraph>,
+        shared_inv_deg: Option<&[f64]>,
+        p0: &[f64],
+        strategy: SweepStrategy,
+    ) -> Vec<Vec<f64>> {
         assert_eq!(p0.len(), graph.num_vertices(), "p0 size mismatch");
         let n = graph.num_vertices();
-        let mut hops = Vec::with_capacity(self.fanouts.num_hops());
-        let mut prev: Vec<f64> = p0.to_vec();
+        // Like the transpose, the reciprocal-degree table is shared by
+        // the K partition sweeps instead of being rebuilt per call.
+        let local_inv_deg: Vec<f64>;
+        let inv_deg: &[f64] = match shared_inv_deg {
+            Some(t) => t,
+            None => {
+                local_inv_deg = inv_degrees(graph);
+                &local_inv_deg
+            }
+        };
+        // The transpose drives frontier discovery; build it at most once
+        // per call (or borrow the caller's, in partition sweeps where all
+        // K partitions share one).
+        let mut local_transpose: Option<CsrGraph> = None;
+        let mut hops: Vec<Vec<f64>> = Vec::with_capacity(self.fanouts.num_hops());
         for h in 1..=self.fanouts.num_hops() {
             let f = self.fanouts.hop(h) as f64;
-            let mut cur = vec![0.0f64; n];
-            for u in 0..n as VertexId {
-                let mut log_miss = 0.0f64;
-                for &v in graph.neighbors(u) {
-                    let pv = prev[v as usize];
-                    if pv <= 0.0 {
-                        continue;
-                    }
-                    let t = (f / graph.degree(v) as f64).min(1.0);
-                    let x = t * pv;
-                    if x >= 1.0 {
-                        log_miss = f64::NEG_INFINITY;
-                        break;
-                    }
-                    log_miss += (-x).ln_1p();
-                }
-                cur[u as usize] = crate::clamp01(1.0 - log_miss.exp());
-            }
-            hops.push(cur.clone());
-            prev = cur;
+            let prev: &[f64] = hops.last().map_or(p0, Vec::as_slice);
+            let support: Vec<VertexId> = (0..n as VertexId)
+                .filter(|&v| prev[v as usize] > 0.0)
+                .collect();
+            let sparse = match strategy {
+                SweepStrategy::Dense => false,
+                SweepStrategy::FrontierSparse => true,
+                // A sparse hop scans the support's in-edges twice (once
+                // to discover candidates, once inside the kernel via
+                // each candidate's full out-neighborhood); require the
+                // support to be a small fraction of the graph before
+                // paying for the transpose walk. Pure function of
+                // `prev`, so the choice is replica-deterministic.
+                SweepStrategy::Auto => support.len() * 8 <= n,
+            };
+            let transpose: Option<&CsrGraph> =
+                if sparse {
+                    Some(shared_transpose.unwrap_or_else(|| {
+                        local_transpose.get_or_insert_with(|| graph.transpose())
+                    }))
+                } else {
+                    None
+                };
+            let cur = match transpose {
+                Some(tr) => frontier_sweep(pool, graph, tr, inv_deg, prev, &support, f),
+                None => dense_sweep(pool, graph, inv_deg, prev, f),
+            };
+            hops.push(cur);
         }
         hops
     }
@@ -132,42 +218,193 @@ impl VipModel {
 
     /// End-to-end: VIP values for minibatches drawn from `train`.
     pub fn scores(&self, graph: &CsrGraph, train: &[VertexId]) -> Vec<f64> {
+        self.scores_with(WorkerPool::global(), graph, train, SweepStrategy::Auto)
+    }
+
+    /// [`VipModel::scores`] with an explicit pool and sweep strategy.
+    pub fn scores_with(
+        &self,
+        pool: WorkerPool,
+        graph: &CsrGraph,
+        train: &[VertexId],
+        strategy: SweepStrategy,
+    ) -> Vec<f64> {
         let p0 = self.initial_probabilities(graph.num_vertices(), train);
-        let hops = self.hop_scores(graph, &p0);
+        let hops = self.hop_scores_with(pool, graph, &p0, strategy);
         Self::combine(&hops)
     }
 
     /// Per-partition VIP values: entry `k` holds `p_k(u)` for minibatches
     /// drawn from partition `k`'s training vertices (`train_of_part[k]`).
     /// This is the quantity the caching policy ranks (paper §3.2 computes
-    /// rankings per partition, footnote 1). Partitions are independent,
-    /// so the sweeps run on one thread each (the paper streams this
-    /// computation through the GPU; we use the CPU cores).
+    /// rankings per partition, footnote 1). Runs on the global pool.
     pub fn partition_scores(
         &self,
         graph: &CsrGraph,
         train_of_part: &[Vec<VertexId>],
     ) -> Vec<Vec<f64>> {
-        if train_of_part.len() <= 1 {
-            return train_of_part
-                .iter()
-                .map(|t| self.scores(graph, t))
-                .collect();
-        }
-        let mut out: Vec<Vec<f64>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = train_of_part
-                .iter()
-                .map(|t| scope.spawn(move |_| self.scores(graph, t)))
-                .collect();
-            out = handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                .collect();
-        })
-        .unwrap_or_else(|e| std::panic::resume_unwind(e));
-        out
+        self.partition_scores_with(
+            WorkerPool::global(),
+            graph,
+            train_of_part,
+            SweepStrategy::Auto,
+        )
     }
+
+    /// [`VipModel::partition_scores`] with an explicit pool and sweep
+    /// strategy. The K independent sweeps are scheduled as pool jobs
+    /// (never one unbounded thread per partition), each sweep
+    /// parallelizing internally on its share of the worker budget via
+    /// [`WorkerPool::split`]; the transposed graph is built once and
+    /// shared by every partition's frontier discovery.
+    pub fn partition_scores_with(
+        &self,
+        pool: WorkerPool,
+        graph: &CsrGraph,
+        train_of_part: &[Vec<VertexId>],
+        strategy: SweepStrategy,
+    ) -> Vec<Vec<f64>> {
+        let k = train_of_part.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        // Partition train sets are small by construction (|T|/K), so the
+        // frontier path is the expected one; pay for the transpose and
+        // the reciprocal-degree table once up front instead of once per
+        // partition job.
+        let transpose = match strategy {
+            SweepStrategy::Dense => None,
+            _ => Some(graph.transpose()),
+        };
+        let inv_deg = inv_degrees(graph);
+        let inner = pool.split(k);
+        pool.run_jobs(k, |i| {
+            let p0 = self.initial_probabilities(graph.num_vertices(), &train_of_part[i]);
+            let hops = self.hop_scores_impl(
+                inner,
+                graph,
+                transpose.as_ref(),
+                Some(&inv_deg),
+                &p0,
+                strategy,
+            );
+            Self::combine(&hops)
+        })
+    }
+}
+
+/// Reciprocal out-degrees, `1/d(v)` (`+inf` for isolated vertices, which
+/// makes `t = min(1, f/d)` come out as 1 exactly like the direct
+/// division). Computed once per sweep so the inner kernel multiplies
+/// instead of dividing.
+fn inv_degrees(graph: &CsrGraph) -> Vec<f64> {
+    (0..graph.num_vertices() as VertexId)
+        .map(|v| 1.0 / graph.degree(v) as f64)
+        .collect()
+}
+
+/// The shared inner kernel of Proposition 1's recurrence: one vertex's
+/// next-hop inclusion probability from its out-neighborhood. Every sweep
+/// (serial, dense-parallel, frontier-sparse) evaluates exactly this
+/// function, which is what makes them bit-identical.
+#[inline]
+fn hop_update(graph: &CsrGraph, inv_deg: &[f64], prev: &[f64], f: f64, u: VertexId) -> f64 {
+    let mut log_miss = 0.0f64;
+    for &v in graph.neighbors(u) {
+        let pv = prev[v as usize];
+        if pv <= 0.0 {
+            continue;
+        }
+        let t = (f * inv_deg[v as usize]).min(1.0);
+        let x = t * pv;
+        if x >= 1.0 {
+            log_miss = f64::NEG_INFINITY;
+            break;
+        }
+        log_miss += (-x).ln_1p();
+    }
+    crate::clamp01(1.0 - log_miss.exp())
+}
+
+/// One dense hop: every vertex updated, vertices chunked so each chunk
+/// carries an equal share of `N + M` work (CSR edge counts), chunk
+/// boundaries a pure function of the graph.
+fn dense_sweep(
+    pool: WorkerPool,
+    graph: &CsrGraph,
+    inv_deg: &[f64],
+    prev: &[f64],
+    f: f64,
+) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let total = (n + graph.num_edges()) as u64;
+    let jobs = pool.jobs_for_cost(total);
+    let edges_before = |i: usize| -> u64 {
+        if i == n {
+            graph.num_edges() as u64
+        } else {
+            graph.neighbor_range(i as VertexId).start as u64
+        }
+    };
+    let ranges = balanced_ranges(n, jobs, |i| i as u64 + edges_before(i));
+    let cuts: Vec<usize> = ranges.iter().map(|r| r.end).collect();
+    let mut cur = vec![0.0f64; n];
+    pool.par_chunks(&mut cur, &cuts, |_, offset, chunk| {
+        for (j, slot) in chunk.iter_mut().enumerate() {
+            *slot = hop_update(graph, inv_deg, prev, f, (offset + j) as VertexId);
+        }
+    });
+    cur
+}
+
+/// One frontier-sparse hop: only vertices with an out-edge into
+/// `support` (the nonzero entries of `prev`) can change, and they are
+/// found by walking the transposed graph. Everything else keeps the
+/// exact `+0.0` the dense sweep produces for it (`1 - exp(0) = +0.0`),
+/// so the result is bit-identical to [`dense_sweep`]. Active vertices
+/// are updated in chunks balanced by out-degree.
+fn frontier_sweep(
+    pool: WorkerPool,
+    graph: &CsrGraph,
+    transpose: &CsrGraph,
+    inv_deg: &[f64],
+    prev: &[f64],
+    support: &[VertexId],
+    f: f64,
+) -> Vec<f64> {
+    let n = graph.num_vertices();
+    let mut on_frontier = vec![false; n];
+    let mut active: Vec<VertexId> = Vec::new();
+    for &v in support {
+        for &u in transpose.neighbors(v) {
+            if !on_frontier[u as usize] {
+                on_frontier[u as usize] = true;
+                active.push(u);
+            }
+        }
+    }
+    // Ascending vertex order: the chunk decomposition below must be a
+    // pure function of the graph and `prev`, not of discovery order.
+    active.sort_unstable();
+    let mut work_before = vec![0u64; active.len() + 1];
+    for (i, &u) in active.iter().enumerate() {
+        work_before[i + 1] = work_before[i] + 1 + graph.degree(u) as u64;
+    }
+    let jobs = pool.jobs_for_cost(work_before[active.len()]);
+    let ranges = balanced_ranges(active.len(), jobs, |i| work_before[i]);
+    let values = pool.run_jobs(ranges.len(), |j| {
+        ranges[j]
+            .clone()
+            .map(|i| hop_update(graph, inv_deg, prev, f, active[i]))
+            .collect::<Vec<f64>>()
+    });
+    let mut cur = vec![0.0f64; n];
+    for (range, vals) in ranges.iter().zip(&values) {
+        for (i, &val) in range.clone().zip(vals) {
+            cur[active[i] as usize] = val;
+        }
+    }
+    cur
 }
 
 #[cfg(test)]
@@ -322,6 +559,91 @@ mod tests {
         assert_eq!(s[0].len(), 10);
         // Partition 0's VIP of vertex 9 reflects reachability from {0,1,2}.
         assert!(s[0][9] > 0.0);
+    }
+
+    /// Bit-level equality for probability vectors (clippy's `float_cmp`
+    /// is exactly what we want here: the determinism contract is
+    /// bit-identity, not tolerance).
+    fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+        assert_eq!(a.len(), b.len(), "{what}: length");
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{what}: vertex {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn hop_scores_bit_identical_across_pools_and_strategies() {
+        let g = GeneratorConfig::rmat(1024, 8192).seed(7).build();
+        let train: Vec<VertexId> = (0..64).collect();
+        let model = VipModel::new(Fanouts::new(vec![7, 5, 3]), 16);
+        let p0 = model.initial_probabilities(g.num_vertices(), &train);
+        let reference = model.hop_scores_with(WorkerPool::serial(), &g, &p0, SweepStrategy::Dense);
+        for workers in [1usize, 2, 8] {
+            for strategy in [
+                SweepStrategy::Auto,
+                SweepStrategy::Dense,
+                SweepStrategy::FrontierSparse,
+            ] {
+                let got = model.hop_scores_with(WorkerPool::new(workers), &g, &p0, strategy);
+                assert_eq!(got.len(), reference.len());
+                for (h, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert_bits_eq(a, b, &format!("workers={workers} {strategy:?} hop {h}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scores_bit_identical_across_pools() {
+        let g = GeneratorConfig::rmat(512, 4096).seed(11).build();
+        let train: Vec<VertexId> = (100..140).collect();
+        let model = VipModel::new(Fanouts::new(vec![4, 4]), 8);
+        let reference = model.scores_with(WorkerPool::serial(), &g, &train, SweepStrategy::Dense);
+        for workers in [2usize, 8] {
+            let got = model.scores_with(
+                WorkerPool::new(workers),
+                &g,
+                &train,
+                SweepStrategy::FrontierSparse,
+            );
+            assert_bits_eq(&reference, &got, &format!("scores workers={workers}"));
+        }
+    }
+
+    #[test]
+    fn partition_scores_bit_identical_across_pools() {
+        let g = GeneratorConfig::rmat(512, 4096).seed(13).build();
+        let parts: Vec<Vec<VertexId>> = vec![
+            (0..30).collect(),
+            (200..230).collect(),
+            (400..420).collect(),
+        ];
+        let model = VipModel::new(Fanouts::new(vec![5, 5]), 8);
+        let reference =
+            model.partition_scores_with(WorkerPool::serial(), &g, &parts, SweepStrategy::Dense);
+        for workers in [1usize, 2, 8] {
+            for strategy in [SweepStrategy::Auto, SweepStrategy::FrontierSparse] {
+                let got =
+                    model.partition_scores_with(WorkerPool::new(workers), &g, &parts, strategy);
+                assert_eq!(got.len(), reference.len());
+                for (k, (a, b)) in reference.iter().zip(&got).enumerate() {
+                    assert_bits_eq(a, b, &format!("workers={workers} {strategy:?} part {k}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_skips_work_but_not_results_on_tiny_train_sets() {
+        // One isolated train vertex in a big sparse graph: the frontier
+        // sweep touches a handful of vertices, the dense sweep touches
+        // all of them; outputs must still agree bitwise.
+        let g = GeneratorConfig::rmat(2048, 6144).seed(17).build();
+        let model = VipModel::new(Fanouts::new(vec![3, 3, 3]), 1);
+        let pool = WorkerPool::new(4);
+        let dense = model.scores_with(pool, &g, &[5], SweepStrategy::Dense);
+        let sparse = model.scores_with(pool, &g, &[5], SweepStrategy::FrontierSparse);
+        assert_bits_eq(&dense, &sparse, "tiny train set");
     }
 
     #[test]

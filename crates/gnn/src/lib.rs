@@ -46,4 +46,4 @@ pub mod model;
 pub mod trainer;
 
 pub use model::{Arch, Forward, GnnModel};
-pub use trainer::{EpochStats, TrainConfig, TrainReport, Trainer};
+pub use trainer::{EpochStats, TrainConfig, TrainReport, Trainer, MODEL_STREAM_SALT};

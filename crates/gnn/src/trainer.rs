@@ -9,9 +9,15 @@ use crate::{Arch, GnnModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_graph::{Dataset, VertexId};
-use spp_sampler::{Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
+use spp_pool::WorkerPool;
+use spp_sampler::{batch_stream_seed, Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
 use spp_tensor::{Adam, Matrix, Optimizer};
 use std::sync::Arc;
+
+/// Salt separating the model's dropout RNG stream from the sampler's
+/// stream for the same `(seed, epoch, batch)`. Shared with the
+/// distributed engine so both trainers derive streams identically.
+pub const MODEL_STREAM_SALT: u64 = 0x6D6F_6465_6C5F_7267;
 
 /// Hyperparameters for one training run. Defaults mirror the paper's
 /// Table 3 (3-layer GraphSAGE, hidden 256, fanouts (15,10,5), batch 1024,
@@ -36,6 +42,11 @@ pub struct TrainConfig {
     pub dropout: f32,
     /// Master seed for init, shuffling, and sampling.
     pub seed: u64,
+    /// Worker budget for minibatch preparation (`None` = the global
+    /// pool). Any value produces identical sampled batches and loss
+    /// curves — each batch's RNG stream is derived from
+    /// `(seed, epoch, batch)`, never from which worker prepared it.
+    pub workers: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -50,6 +61,7 @@ impl Default for TrainConfig {
             epochs: 10,
             dropout: 0.0,
             seed: 0,
+            workers: None,
         }
     }
 }
@@ -151,34 +163,79 @@ impl<'a> Trainer<'a> {
         }
     }
 
+    /// The worker pool used for minibatch preparation.
+    fn pool(&self) -> WorkerPool {
+        self.cfg
+            .workers
+            .map_or_else(WorkerPool::global, WorkerPool::new)
+    }
+
+    /// Samples one minibatch's MFG and gathers its features and labels —
+    /// the preparation work that runs concurrently across batches. The
+    /// RNG stream is a pure function of `(seed, epoch, batch_idx)`, so
+    /// the output does not depend on which worker runs this or when.
+    fn prepare_batch(
+        ds: &Dataset,
+        sampler: &NodeWiseSampler<'_>,
+        seed: u64,
+        epoch: u64,
+        batch_idx: u64,
+        batch: &[VertexId],
+    ) -> (Mfg, Matrix, Arc<Vec<u32>>) {
+        let mut rng = StdRng::seed_from_u64(batch_stream_seed(seed, epoch, batch_idx));
+        let mfg = sampler.sample(batch, &mut rng);
+        let x = Self::gather_features(ds, &mfg);
+        let labels: Arc<Vec<u32>> =
+            Arc::new(mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect());
+        (mfg, x, labels)
+    }
+
     /// Runs one epoch of minibatch SGD; returns loss stats.
+    ///
+    /// Batch preparation (sampling + feature gathering) runs on the
+    /// worker pool in waves while the model update for each batch stays
+    /// sequential — SALIENT's batch-preparation parallelism. The wave
+    /// decomposition is a pure function of the batch count, and each
+    /// batch's sampling and dropout RNG streams are derived from
+    /// `(seed, epoch, batch)`, so loss curves are identical for every
+    /// pool size.
     pub fn train_epoch(&mut self, opt: &mut Adam, epoch: u64) -> EpochStats {
         let sampler = NodeWiseSampler::new(&self.ds.graph, self.cfg.fanouts.clone());
-        let mut rng = StdRng::seed_from_u64(self.cfg.seed.wrapping_add(epoch).wrapping_mul(31));
-        let mut total_loss = 0.0f64;
-        let mut batches = 0usize;
-        for batch in MinibatchIter::new(
+        let pool = self.pool();
+        let batch_list: Vec<Vec<VertexId>> = MinibatchIter::new(
             &self.ds.split.train,
             self.cfg.batch_size,
             self.cfg.seed,
             epoch,
-        ) {
-            let mfg = sampler.sample(&batch, &mut rng);
-            let x = Self::gather_features(self.ds, &mfg);
-            let labels: Arc<Vec<u32>> = Arc::new(
-                mfg.seeds()
-                    .iter()
-                    .map(|&v| self.ds.labels[v as usize])
-                    .collect(),
-            );
-            let mut fwd = self.model.forward(x, &mfg, true, &mut rng);
-            let loss = fwd.tape.softmax_cross_entropy(fwd.logits, labels);
-            total_loss += fwd.tape.value(loss).get(0, 0) as f64;
-            fwd.tape.backward(loss);
-            self.model.accumulate_grads(&fwd);
-            let mut params = self.model.params_mut();
-            opt.step(&mut params);
-            batches += 1;
+        )
+        .collect();
+        let ds = self.ds;
+        let seed = self.cfg.seed;
+        let mut total_loss = 0.0f64;
+        let mut batches = 0usize;
+        // Prepare one wave of batches ahead of the sequential model
+        // updates; wave size = worker budget keeps at most one wave of
+        // MFGs and gathered features resident.
+        for (wave_idx, wave) in batch_list.chunks(pool.workers().max(1)).enumerate() {
+            let base = wave_idx * pool.workers().max(1);
+            let prepped = pool.run_jobs(wave.len(), |j| {
+                Self::prepare_batch(ds, &sampler, seed, epoch, (base + j) as u64, &wave[j])
+            });
+            for (j, (mfg, x, labels)) in prepped.into_iter().enumerate() {
+                let mut model_rng = StdRng::seed_from_u64(batch_stream_seed(
+                    seed ^ MODEL_STREAM_SALT,
+                    epoch,
+                    (base + j) as u64,
+                ));
+                let mut fwd = self.model.forward(x, &mfg, true, &mut model_rng);
+                let loss = fwd.tape.softmax_cross_entropy(fwd.logits, labels);
+                total_loss += fwd.tape.value(loss).get(0, 0) as f64;
+                fwd.tape.backward(loss);
+                self.model.accumulate_grads(&fwd);
+                let mut params = self.model.params_mut();
+                opt.step(&mut params);
+                batches += 1;
+            }
         }
         EpochStats {
             epoch: epoch as usize,
@@ -215,21 +272,28 @@ impl<'a> Trainer<'a> {
     }
 
     /// Minibatch inference accuracy over `ids` using the eval fanouts.
+    ///
+    /// Inference batches are independent (no parameter updates), so the
+    /// whole evaluation fans out on the pool; per-batch RNG streams make
+    /// the result identical for any worker count.
     pub fn evaluate(&self, ids: &[VertexId], seed: u64) -> f64 {
         let sampler = NodeWiseSampler::new(&self.ds.graph, self.cfg.eval_fanouts.clone());
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut meter = AccuracyMeter::new();
-        for batch in MinibatchIter::new(ids, self.cfg.batch_size, seed, 0) {
-            let mfg = sampler.sample(&batch, &mut rng);
-            let x = Self::gather_features(self.ds, &mfg);
-            let fwd = self.model.forward(x, &mfg, false, &mut rng);
+        let batch_list: Vec<Vec<VertexId>> =
+            MinibatchIter::new(ids, self.cfg.batch_size, seed, 0).collect();
+        let ds = self.ds;
+        let model = &self.model;
+        let per_batch = self.pool().run_jobs(batch_list.len(), |b| {
+            let mut rng = StdRng::seed_from_u64(batch_stream_seed(seed, 0, b as u64));
+            let mfg = sampler.sample(&batch_list[b], &mut rng);
+            let x = Self::gather_features(ds, &mfg);
+            let fwd = model.forward(x, &mfg, false, &mut rng);
             let preds = predictions(fwd.logits_value());
-            let labels: Vec<u32> = mfg
-                .seeds()
-                .iter()
-                .map(|&v| self.ds.labels[v as usize])
-                .collect();
-            meter.update(&preds, &labels);
+            let labels: Vec<u32> = mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect();
+            (preds, labels)
+        });
+        let mut meter = AccuracyMeter::new();
+        for (preds, labels) in &per_batch {
+            meter.update(preds, labels);
         }
         meter.value()
     }
@@ -314,6 +378,34 @@ mod tests {
         let r2 = Trainer::new(&ds, tiny_config(2)).train();
         assert_eq!(r1.epochs, r2.epochs);
         assert_eq!(r1.test_accuracy, r2.test_accuracy);
+    }
+
+    #[test]
+    fn loss_curve_identical_across_pool_sizes() {
+        // Dropout on, so the model RNG stream is actually consumed: if
+        // prep parallelism leaked into either the sampling or dropout
+        // streams, the loss trajectories would diverge.
+        let ds = SyntheticSpec::new("t", 400, 10.0, 8, 4)
+            .split_fractions(0.4, 0.2, 0.2)
+            .feature_signal(1.5)
+            .seed(9)
+            .build();
+        let run = |workers: usize| {
+            let cfg = TrainConfig {
+                dropout: 0.3,
+                workers: Some(workers),
+                ..tiny_config(3)
+            };
+            Trainer::new(&ds, cfg).train()
+        };
+        let reference = run(1);
+        assert!(reference.epochs.iter().all(|e| e.loss.is_finite()));
+        for workers in [2usize, 8] {
+            let got = run(workers);
+            assert_eq!(reference.epochs, got.epochs, "workers={workers}");
+            assert_eq!(reference.val_accuracy, got.val_accuracy);
+            assert_eq!(reference.test_accuracy, got.test_accuracy);
+        }
     }
 
     #[test]

@@ -8,14 +8,15 @@
 //! the partitioned stores and caches, this engine *verifies* that the
 //! paper's storage optimizations leave training semantics untouched.
 
+use crate::pool::WorkerPool;
 use crate::setup::DistributedSetup;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_comm::{run_machines, AllToAll};
 use spp_gnn::metrics::{predictions, AccuracyMeter};
-use spp_gnn::{Arch, GnnModel};
+use spp_gnn::{Arch, GnnModel, MODEL_STREAM_SALT};
 use spp_graph::{FeatureMatrix, VertexId};
-use spp_sampler::{MinibatchIter, NodeWiseSampler};
+use spp_sampler::{batch_stream_seed, Mfg, MinibatchIter, NodeWiseSampler};
 use spp_tensor::{Adam, Matrix, Optimizer};
 use std::sync::Arc;
 
@@ -127,22 +128,40 @@ impl<'a> DistributedTrainer<'a> {
             let mut model = GnnModel::new(cfg.arch, &dims, cfg.seed);
             let mut opt = Adam::new(cfg.lr);
             let sampler = NodeWiseSampler::new(&setup.dataset.graph, setup.config.fanouts.clone());
-            let mut rng = StdRng::seed_from_u64(cfg.seed ^ (rank as u64) << 32);
+            // Each machine thread gets an equal share of the global
+            // worker budget for its own prefetch fan-out (K machines
+            // already run concurrently).
+            let pool = WorkerPool::global().split(k);
+            // Per-round RNG streams are derived from
+            // (machine seed, epoch, round), never threaded across
+            // rounds: sampling for round r is independent of rounds
+            // 0..r, which is what lets the epoch's MFGs be prefetched in
+            // parallel below with identical results.
+            let sample_seed = cfg.seed ^ ((rank as u64) << 32);
             let mut epoch_losses = Vec::with_capacity(cfg.epochs);
             let mut remote_fetches = 0usize;
 
             for epoch in 0..cfg.epochs as u64 {
-                let mut batches = MinibatchIter::new(
+                let batches: Vec<Vec<VertexId>> = MinibatchIter::new(
                     &setup.local_train[rank],
                     setup.config.batch_size,
                     setup.config.seed ^ rank as u64,
                     epoch,
-                );
+                )
+                .collect();
+                // Prefetch the whole epoch's MFGs on this machine's pool
+                // share (sampling is the CPU-bound half of a round).
+                let mut prefetched: std::vec::IntoIter<Mfg> = pool
+                    .run_jobs(batches.len(), |b| {
+                        let mut rng =
+                            StdRng::seed_from_u64(batch_stream_seed(sample_seed, epoch, b as u64));
+                        sampler.sample(&batches[b], &mut rng)
+                    })
+                    .into_iter();
                 let mut loss_sum = 0.0f64;
                 let mut loss_rounds = 0usize;
-                for _round in 0..rounds_per_epoch {
-                    let batch = batches.next();
-                    let mfg = batch.as_ref().map(|b| sampler.sample(b, &mut rng));
+                for round in 0..rounds_per_epoch {
+                    let mfg = prefetched.next();
 
                     // Phase 1: exchange feature requests.
                     let plan = mfg.as_ref().map(|m| setup.stores[rank].plan(&m.nodes));
@@ -186,7 +205,12 @@ impl<'a> DistributedTrainer<'a> {
                                 .map(|&v| setup.dataset.labels[v as usize])
                                 .collect(),
                         );
-                        let mut fwd = model.forward(x, m, true, &mut rng);
+                        let mut model_rng = StdRng::seed_from_u64(batch_stream_seed(
+                            sample_seed ^ MODEL_STREAM_SALT,
+                            epoch,
+                            round as u64,
+                        ));
+                        let mut fwd = model.forward(x, m, true, &mut model_rng);
                         let loss = fwd.tape.softmax_cross_entropy(fwd.logits, labels);
                         loss_val = fwd.tape.value(loss).get(0, 0) as f64;
                         fwd.tape.backward(loss);

@@ -37,6 +37,7 @@
 pub mod cost;
 pub mod engine;
 pub mod pipeline;
+pub mod pool;
 pub mod setup;
 pub mod systems;
 pub mod volume;
@@ -45,6 +46,7 @@ pub mod workload;
 pub use cost::CostModel;
 pub use engine::{DistTrainConfig, DistributedTrainReport, DistributedTrainer};
 pub use pipeline::{PipelineEpoch, PipelineSim, StageBusy};
+pub use pool::WorkerPool;
 pub use setup::{DistributedSetup, SetupConfig};
 pub use systems::{EpochSim, EpochTime, SystemSpec};
 pub use volume::{AccessCounts, CommVolume};

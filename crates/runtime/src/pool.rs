@@ -1,0 +1,10 @@
+//! Re-export of the workspace worker pool (`spp-pool`).
+//!
+//! `spp_runtime::pool` is the sanctioned entry point for runtime-level
+//! code: the engine, workload/volume measurement, and anything scheduling
+//! concurrent work goes through [`WorkerPool`]. The implementation lives
+//! in the foundational `spp-pool` crate so that `spp-core` and
+//! `spp-tensor` (which `spp-runtime` depends on) can share the same pool
+//! without a dependency cycle.
+
+pub use spp_pool::{balanced_ranges, even_ranges, WorkerPool, MIN_COST_PER_JOB};

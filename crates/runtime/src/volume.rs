@@ -69,28 +69,9 @@ impl AccessCounts {
             }
             c
         };
-        let counts = if train_of_part.len() <= 1 {
-            train_of_part
-                .iter()
-                .enumerate()
-                .map(|(k, t)| measure_one(k, t))
-                .collect()
-        } else {
-            let mut out = Vec::new();
-            crossbeam::thread::scope(|scope| {
-                let handles: Vec<_> = train_of_part
-                    .iter()
-                    .enumerate()
-                    .map(|(k, t)| scope.spawn(move |_| measure_one(k, t)))
-                    .collect();
-                out = handles
-                    .into_iter()
-                    .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-                    .collect();
-            })
-            .unwrap_or_else(|e| std::panic::resume_unwind(e));
-            out
-        };
+        // Pool jobs, never one unbounded thread per machine.
+        let counts = crate::pool::WorkerPool::global()
+            .run_jobs(train_of_part.len(), |k| measure_one(k, &train_of_part[k]));
         Self { counts, epochs }
     }
 

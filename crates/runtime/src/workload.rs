@@ -96,23 +96,10 @@ pub fn measure_streams(
         })
         .collect::<Vec<BatchStats>>()
     };
-    if k <= 1 {
-        return (0..k).map(measure_machine).collect();
-    }
-    // Machines sample independent streams; one thread each (SALIENT's
-    // shared-memory parallel batch preparation).
-    let mut out = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = (0..k)
-            .map(|m| scope.spawn(move |_| measure_machine(m)))
-            .collect();
-        out = handles
-            .into_iter()
-            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
-            .collect();
-    })
-    .unwrap_or_else(|e| std::panic::resume_unwind(e));
-    out
+    // Machines sample independent streams; pool jobs, never one
+    // unbounded thread per machine (SALIENT's shared-memory parallel
+    // batch preparation, on the bounded worker budget).
+    crate::pool::WorkerPool::global().run_jobs(k, measure_machine)
 }
 
 #[cfg(test)]

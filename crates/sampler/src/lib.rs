@@ -42,7 +42,7 @@ pub mod mfg;
 pub mod sample;
 pub mod weighted;
 
-pub use batch::MinibatchIter;
+pub use batch::{batch_stream_seed, MinibatchIter};
 pub use dedup::VertexIndexer;
 pub use fanouts::Fanouts;
 pub use mfg::{HopAdj, Mfg};

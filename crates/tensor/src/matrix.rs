@@ -1,4 +1,15 @@
 //! Row-major dense `f32` matrices and their raw (non-autograd) kernels.
+//!
+//! Large products run on the workspace worker pool
+//! ([`spp_pool::WorkerPool`]): the output is split into row blocks whose
+//! boundaries depend only on the shapes (never on timing), each block is
+//! computed by the same serial kernel, and blocks land in disjoint
+//! regions of the output buffer — so results are bit-identical to the
+//! serial kernels for any worker count. Whether a product parallelizes
+//! at all is decided by the pool's single sizing policy
+//! (`jobs_for_cost`), not per-call-site thresholds.
+
+use spp_pool::{even_ranges, WorkerPool};
 
 /// A row-major dense `f32` matrix.
 ///
@@ -120,40 +131,40 @@ impl Matrix {
     }
 
     /// Matrix product `self @ other` with an ikj loop order (streams the
-    /// output row, cache-friendly for row-major data). Large products are
-    /// split into row blocks across threads.
+    /// output row, cache-friendly for row-major data), on the global
+    /// worker pool.
     ///
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with(WorkerPool::global(), other)
+    }
+
+    /// [`Matrix::matmul`] on an explicit pool. Output row blocks are a
+    /// pure function of the shapes and the result is bit-identical to
+    /// the serial kernel for any worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        let flops = self.rows * self.cols * other.cols;
-        // Threading pays off only past ~8 MFLOP; below that the scope
-        // setup dominates.
-        let threads = if flops < (1 << 23) {
-            1
-        } else {
-            std::thread::available_parallelism().map_or(1, |p| p.get().min(8))
-        };
-        if threads <= 1 || self.rows < 2 * threads {
+        let flops = (self.rows * self.cols * other.cols) as u64;
+        let jobs = pool.jobs_for_cost(flops).min(self.rows.max(1));
+        if jobs <= 1 {
             Self::matmul_rows(self, other, 0, &mut out.data);
             return out;
         }
-        let rows_per = self.rows.div_ceil(threads);
-        let chunks: Vec<(usize, &mut [f32])> = out
-            .data
-            .chunks_mut(rows_per * other.cols)
-            .enumerate()
-            .map(|(i, c)| (i * rows_per, c))
+        let out_cols = other.cols;
+        let cuts: Vec<usize> = even_ranges(self.rows, jobs)
+            .iter()
+            .map(|r| r.end * out_cols)
             .collect();
-        crossbeam::thread::scope(|scope| {
-            for (row0, chunk) in chunks {
-                scope.spawn(move |_| Self::matmul_rows(self, other, row0, chunk));
-            }
-        })
-        .unwrap_or_else(|e| std::panic::resume_unwind(e));
+        pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
+            Self::matmul_rows(self, other, offset / out_cols, chunk);
+        });
         out
     }
 
@@ -175,60 +186,148 @@ impl Matrix {
         }
     }
 
-    /// `selfᵀ @ other` without materializing the transpose.
+    /// `selfᵀ @ other` without materializing the transpose, on the
+    /// global worker pool.
     ///
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        self.t_matmul_with(WorkerPool::global(), other)
+    }
+
+    /// [`Matrix::t_matmul`] on an explicit pool.
+    ///
+    /// Every output element `out[k][j] = Σ_r self[r][k]·other[r][j]`
+    /// accumulates over `r` ascending in both the serial (r-outer,
+    /// streaming) and parallel (k-outer, per-output-row) loop orders, so
+    /// the two are bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for r in 0..self.rows {
-            let a_row = self.row(r);
-            let b_row = other.row(r);
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        let flops = (self.rows * self.cols * other.cols) as u64;
+        let jobs = pool.jobs_for_cost(flops).min(self.cols.max(1));
+        if jobs <= 1 {
+            for r in 0..self.rows {
+                let a_row = self.row(r);
+                let b_row = other.row(r);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let out_row = out.row_mut(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
+            return out;
         }
+        let out_cols = other.cols;
+        let cuts: Vec<usize> = even_ranges(self.cols, jobs)
+            .iter()
+            .map(|r| r.end * out_cols)
+            .collect();
+        pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
+            let k0 = offset / out_cols;
+            for r in 0..self.rows {
+                let b_row = other.row(r);
+                for (ki, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                    let a = self.get(r, k0 + ki);
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            }
+        });
         out
     }
 
-    /// `self @ otherᵀ` without materializing the transpose.
+    /// `self @ otherᵀ` without materializing the transpose, on the
+    /// global worker pool.
     ///
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        self.matmul_t_with(WorkerPool::global(), other)
+    }
+
+    /// [`Matrix::matmul_t`] on an explicit pool; output rows are
+    /// independent dot products, so any row split is bit-identical to
+    /// the serial loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        if out.data.is_empty() {
+            return out;
         }
+        let flops = (self.rows * self.cols * other.rows) as u64;
+        let jobs = pool.jobs_for_cost(flops).min(self.rows.max(1));
+        let out_cols = other.rows;
+        let cuts: Vec<usize> = even_ranges(self.rows, jobs)
+            .iter()
+            .map(|r| r.end * out_cols)
+            .collect();
+        pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
+            let i0 = offset / out_cols;
+            for (ii, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let a_row = self.row(i0 + ii);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
-    /// Materialized transpose.
+    /// Materialized transpose, on the global worker pool.
     pub fn transpose(&self) -> Matrix {
+        self.transpose_with(WorkerPool::global())
+    }
+
+    /// [`Matrix::transpose`] on an explicit pool; a pure permutation,
+    /// split by output rows.
+    pub fn transpose_with(&self, pool: WorkerPool) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
-            }
+        if out.data.is_empty() {
+            return out;
         }
+        // Memory-bound: count ~4 units per element moved so transposes
+        // parallelize at roughly the same byte volume as products.
+        let jobs = pool
+            .jobs_for_cost(4 * (self.rows * self.cols) as u64)
+            .min(self.cols.max(1));
+        let out_cols = self.rows;
+        let cuts: Vec<usize> = even_ranges(self.cols, jobs)
+            .iter()
+            .map(|r| r.end * out_cols)
+            .collect();
+        pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
+            let j0 = offset / out_cols;
+            for (ji, out_row) in chunk.chunks_mut(out_cols).enumerate() {
+                let j = j0 + ji;
+                for (i, o) in out_row.iter_mut().enumerate() {
+                    *o = self.data[i * self.cols + j];
+                }
+            }
+        });
         out
     }
 
@@ -289,16 +388,81 @@ mod tests {
 
     #[test]
     fn matmul_parallel_matches_serial() {
-        // Big enough to cross the threading threshold.
+        // Big enough to cross the pool's per-job cost threshold.
         let r = 1200usize;
         let k = 96usize;
         let c = 96usize;
         let a = Matrix::from_flat(r, k, (0..r * k).map(|i| (i % 13) as f32 - 6.0).collect());
         let b = Matrix::from_flat(k, c, (0..k * c).map(|i| (i % 7) as f32 - 3.0).collect());
-        let par = a.matmul(&b);
         let mut serial = Matrix::zeros(r, c);
         Matrix::matmul_rows(&a, &b, 0, serial.as_flat_mut());
-        assert_eq!(par, serial);
+        for workers in [1usize, 2, 8] {
+            let par = a.matmul_with(WorkerPool::new(workers), &b);
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    /// Non-trivially-rounding values (1/3 scaled) so any change in
+    /// accumulation order would show up at the bit level.
+    fn fractious(rows: usize, cols: usize, salt: u32) -> Matrix {
+        Matrix::from_flat(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|i| {
+                    ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt) % 97) as f32 / 3.0
+                        - 16.0
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn t_matmul_bit_identical_across_pools() {
+        let a = fractious(600, 70, 1);
+        let b = fractious(600, 50, 2);
+        let serial = a.t_matmul_with(WorkerPool::serial(), &b);
+        for workers in [2usize, 8] {
+            assert_eq!(
+                a.t_matmul_with(WorkerPool::new(workers), &b),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_t_bit_identical_across_pools() {
+        let a = fractious(400, 90, 3);
+        let b = fractious(320, 90, 4);
+        let serial = a.matmul_t_with(WorkerPool::serial(), &b);
+        for workers in [2usize, 8] {
+            assert_eq!(
+                a.matmul_t_with(WorkerPool::new(workers), &b),
+                serial,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn transpose_bit_identical_across_pools() {
+        let a = fractious(700, 450, 5);
+        let serial = a.transpose_with(WorkerPool::serial());
+        assert_eq!(serial.shape(), (450, 700));
+        for workers in [2usize, 8] {
+            assert_eq!(a.transpose_with(WorkerPool::new(workers)), serial);
+        }
+        assert_eq!(serial.transpose(), a);
+    }
+
+    #[test]
+    fn zero_dimension_products_stay_empty() {
+        let a = Matrix::zeros(0, 5);
+        let b = Matrix::zeros(0, 5);
+        assert_eq!(a.t_matmul(&b).shape(), (5, 5));
+        assert_eq!(a.matmul_t(&b).shape(), (0, 0));
+        assert_eq!(Matrix::zeros(4, 0).transpose().shape(), (0, 4));
     }
 
     #[test]

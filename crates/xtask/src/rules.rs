@@ -12,8 +12,10 @@
 //! | `l3-unordered-iter` | ordering-sensitive modules (cache ranking, reorder         |
 //! |                 | permutations, partition assignment) never iterate a            |
 //! |                 | `HashMap`/`HashSet` — replicas must rank identically           |
-//! | `l4-unbounded`  | no `std::thread::spawn` / unbounded channels outside           |
-//! |                 | `spp-runtime`; pipeline stages use bounded queues              |
+//! | `l4-unbounded`  | no `std::thread::spawn` / unbounded channels / ad-hoc scoped   |
+//! |                 | thread fan-out outside `spp-runtime` and the sanctioned pool   |
+//! |                 | crate (`crates/pool`); concurrency goes through                |
+//! |                 | `WorkerPool`, pipeline stages use bounded queues               |
 //! | `l5-prob-clamp` | VIP modules route every computed probability store through     |
 //! |                 | `clamp01` (Proposition 1: `p ∈ [0, 1]`)                        |
 //!
@@ -255,14 +257,24 @@ fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
 }
 
 fn applies_l4(path: &str) -> bool {
-    !path.starts_with("crates/runtime/src")
+    // The sanctioned homes for bounded concurrency: the runtime, the
+    // worker-pool crate it re-exports (`spp_runtime::pool`), and the
+    // barriered all-to-all exchange in spp-comm.
+    // alltoall's run_machines keeps scoped one-thread-per-rank fan-out:
+    // ranks synchronize through barriers every exchange, so they must
+    // all run concurrently — a pooled schedule would deadlock.
+    !(path.starts_with("crates/runtime/src")
+        || path.starts_with("crates/pool/src")
+        || path == "crates/comm/src/alltoall.rs")
 }
 
-/// L4: no `std::thread::spawn` or unbounded channels outside
-/// `spp-runtime`. (Structured fork-join via scoped threads is allowed —
-/// it cannot leak threads or queues.)
+/// L4: no `std::thread::spawn`, unbounded channels, or ad-hoc scoped
+/// thread fan-out outside the sanctioned crates. Data-parallel work
+/// goes through `spp-pool`'s `WorkerPool` (fixed worker budget,
+/// deterministic decomposition) instead of per-call-site
+/// `crossbeam::thread::scope` blocks.
 fn check_l4(file: &SourceFile, findings: &mut Vec<Finding>) {
-    const BANNED: [(&str, &str); 4] = [
+    const BANNED: [(&str, &str); 5] = [
         (
             "thread::spawn(",
             "free-running thread; pipeline stages belong to spp-runtime's bounded executor",
@@ -278,6 +290,11 @@ fn check_l4(file: &SourceFile, findings: &mut Vec<Finding>) {
         (
             "unbounded_channel",
             "unbounded channel; use a bounded queue so stages backpressure",
+        ),
+        (
+            "crossbeam::thread::scope(",
+            "ad-hoc scoped fan-out; schedule on spp-pool's WorkerPool so concurrency stays \
+             bounded by one worker budget",
         ),
     ];
     for (idx, line) in file.lines.iter().enumerate() {
@@ -544,9 +561,19 @@ mod tests {
     }
 
     #[test]
-    fn l4_allows_scoped_fork_join() {
+    fn l4_flags_adhoc_scoped_fan_out_outside_sanctioned_crates() {
         let src = "fn f() {\n  crossbeam::thread::scope(|s| { s.spawn(move |_| work()); });\n}";
-        assert!(lint("crates/core/src/vip.rs", src).is_empty());
+        let f = lint("crates/core/src/vip.rs", src);
+        assert_eq!(rules_of(&f), vec!["l4-unbounded"], "{f:?}");
+    }
+
+    #[test]
+    fn l4_allows_sanctioned_concurrency_homes() {
+        let scoped = "fn f() {\n  crossbeam::thread::scope(|s| { s.spawn(move |_| work()); });\n}";
+        assert!(lint("crates/comm/src/alltoall.rs", scoped).is_empty());
+        let spawn = "fn f() { std::thread::spawn(|| {}); }";
+        assert!(lint("crates/pool/src/lib.rs", spawn).is_empty());
+        assert!(lint("crates/runtime/src/pipeline.rs", spawn).is_empty());
     }
 
     // ---- L5 ----
