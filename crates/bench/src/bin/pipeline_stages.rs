@@ -16,9 +16,12 @@
 use spp_bench::report::fmt_secs;
 use spp_bench::{papers_sim, Cli, Table};
 use spp_core::policies::CachePolicy;
+use spp_runtime::telemetry::stage::PipelineStage;
 use spp_runtime::{CostModel, DistributedSetup, PipelineSim, SetupConfig};
 use spp_sampler::Fanouts;
 
+// Presentation text for the rows; stage identity (ordering, busy-time
+// lookup) comes from `PipelineStage`.
 const STAGE_NAMES: [&str; 10] = [
     "1 sample minibatch (CPU)",
     "2 all-to-all counts (NIC)",
@@ -67,8 +70,8 @@ fn main() {
         &["stage", "a=0", "a=0.32", "change"],
     );
     for (i, name) in STAGE_NAMES.iter().enumerate() {
-        let b = e_bare.busy.stage[i] / k as f64;
-        let c = e_cached.busy.stage[i] / k as f64;
+        let b = e_bare.busy.stage(i + 1) / k as f64;
+        let c = e_cached.busy.stage(i + 1) / k as f64;
         t.row(vec![
             name.to_string(),
             fmt_secs(b),
@@ -78,14 +81,14 @@ fn main() {
     }
     t.row(vec![
         "train (GPU)".into(),
-        fmt_secs(e_bare.busy.train / k as f64),
-        fmt_secs(e_cached.busy.train / k as f64),
+        fmt_secs(e_bare.busy.get(PipelineStage::Train) / k as f64),
+        fmt_secs(e_cached.busy.get(PipelineStage::Train) / k as f64),
         "0%".into(),
     ]);
     t.row(vec![
         "gradient all-reduce".into(),
-        fmt_secs(e_bare.busy.allreduce / k as f64),
-        fmt_secs(e_cached.busy.allreduce / k as f64),
+        fmt_secs(e_bare.busy.get(PipelineStage::AllReduce) / k as f64),
+        fmt_secs(e_cached.busy.get(PipelineStage::AllReduce) / k as f64),
         "0%".into(),
     ]);
     t.print();

@@ -1,0 +1,109 @@
+//! Traced end-to-end epoch: the telemetry smoke driver.
+//!
+//! Runs with the recorder on: one simulated Appendix-D pipeline epoch
+//! (virtual-time spans for all ten stages plus train/all-reduce on the
+//! simulated-time trace process) and one short distributed-training run
+//! (wall-clock engine spans, per-machine-pair comm byte counters,
+//! sampler/pool metrics). Prints the metrics summary and writes
+//! `results/trace_pipeline.{json,jsonl}` — the files CI validates with
+//! `cargo xtask validate-trace --stages` — plus headline numbers to
+//! `results/BENCH_pipeline_trace.json`. Load the Chrome trace at
+//! ui.perfetto.dev (see README).
+
+// Harness binaries may abort on setup errors; the workspace
+// panic-family denies gate the library crates, not the harnesses
+// (mirrors the bin/ exemption in `cargo xtask lint`).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use spp_bench::{papers_sim, BenchReport, Cli};
+use spp_core::policies::CachePolicy;
+use spp_runtime::{
+    CostModel, DistTrainConfig, DistributedSetup, DistributedTrainer, PipelineSim, SetupConfig,
+};
+use spp_sampler::Fanouts;
+use spp_telemetry as tel;
+
+fn main() {
+    let cli = Cli::parse();
+    // Honour SPP_TRACE when present; otherwise force the recorder on —
+    // producing a trace is this harness's whole purpose.
+    if !tel::init_from_env() {
+        tel::set_enabled(true);
+    }
+
+    let ds = papers_sim(cli.scale, cli.seed);
+    let k = 4usize;
+    let setup = DistributedSetup::build(
+        &ds,
+        SetupConfig {
+            num_machines: k,
+            fanouts: Fanouts::new(vec![15, 10, 5]),
+            batch_size: 8,
+            policy: CachePolicy::VipAnalytic,
+            alpha: 0.32,
+            beta: 0.5,
+            vip_reorder: true,
+            seed: cli.seed,
+        },
+    );
+
+    // Virtual-time epoch: the DES replays every stage task as a
+    // simulated span (its own trace process, one track per resource).
+    let epoch = PipelineSim::new(&setup, CostModel::mini_calibrated(), 256, 4).simulate_epoch(0);
+    println!(
+        "simulated pipeline epoch: makespan {:.2} ms over {} rounds",
+        epoch.makespan * 1e3,
+        epoch.rounds
+    );
+
+    // Wall-clock epochs: engine spans + comm byte counters + sampler
+    // and pool metrics from the real hot paths.
+    let trainer = DistributedTrainer::new(
+        &setup,
+        DistTrainConfig {
+            hidden_dim: 16,
+            epochs: cli.epochs_or(1),
+            seed: cli.seed,
+            ..DistTrainConfig::default()
+        },
+    );
+    let (train_report, _) = trainer.train();
+    let final_loss = train_report.epoch_losses.last().copied().unwrap_or(0.0);
+    println!(
+        "trained {} epoch(s): final mean loss {final_loss:.4}, remote fetches {}",
+        train_report.epoch_losses.len(),
+        train_report.remote_fetches
+    );
+
+    print!("{}", tel::summary());
+    match tel::write_trace_files(std::path::Path::new("results"), "pipeline") {
+        Ok(paths) => {
+            for p in &paths {
+                println!("trace written: {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot write trace files: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let mut report = BenchReport::new("pipeline_trace");
+    report
+        .field("scale", format!("{}", cli.scale))
+        .field("seed", cli.seed.to_string())
+        .field("machines", k.to_string())
+        .field("sim_makespan_secs", format!("{:.6}", epoch.makespan))
+        .field("sim_rounds", epoch.rounds.to_string())
+        .field("train_epochs", train_report.epoch_losses.len().to_string())
+        .field("final_loss", format!("{final_loss:.6}"))
+        .field("remote_fetches", train_report.remote_fetches.to_string());
+    if let Some(path) = report.write() {
+        println!("wrote {}", path.display());
+    }
+}

@@ -35,7 +35,7 @@
 )]
 
 use spp_bench::report::fmt_secs;
-use spp_bench::{Cli, Table};
+use spp_bench::{BenchReport, Cli, Table};
 use spp_core::{SweepStrategy, VipModel};
 use spp_graph::generate::GeneratorConfig;
 use spp_graph::{CsrGraph, VertexId};
@@ -285,52 +285,51 @@ fn main() {
     println!("pooled (frontier, 4 workers) vs serial dense: {pooled_at_4:.2}x");
     println!("available parallelism on this host: {avail}");
 
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"vip_scaling\",");
+    let mut dense_obj = String::new();
     let _ = writeln!(
-        json,
-        "  \"scale\": {}, \"seed\": {}, \"repeats\": {repeats},",
-        cli.scale, cli.seed
-    );
-    let _ = writeln!(json, "  \"available_parallelism\": {avail},");
-    let _ = writeln!(
-        json,
-        "  \"graph\": {{\"vertices\": {n}, \"edges\": {edges}}},"
-    );
-    let _ = writeln!(
-        json,
-        "  \"dense_scaling\": {{\"fanouts\": [15, 10, 5], \"train_vertices\": {}, \
+        dense_obj,
+        "{{\"fanouts\": [15, 10, 5], \"train_vertices\": {}, \
          \"serial_dense_secs\": {:.6}, \"runs\": [",
         big_train.len(),
         serial_secs
     );
-    json_runs(&mut json, &dense_runs);
-    let _ = writeln!(json, "  ]}},");
+    json_runs(&mut dense_obj, &dense_runs);
+    let _ = write!(dense_obj, "  ]}}");
+
+    let mut part_obj = String::new();
     let _ = writeln!(
-        json,
-        "  \"per_partition\": {{\"fanouts\": [15, 10], \"partitions\": {k_parts}, \
+        part_obj,
+        "{{\"fanouts\": [15, 10], \"partitions\": {k_parts}, \
          \"seeds_per_partition\": {seeds_per_part}, \
          \"serial_dense_secs\": {part_serial_secs:.6}, \"runs\": ["
     );
-    json_runs(&mut json, &part_dense);
-    let last = json.trim_end().len();
-    json.truncate(last);
-    let _ = writeln!(json, ",");
-    json_runs(&mut json, &part_frontier);
-    let _ = writeln!(json, "  ]}},");
-    let _ = writeln!(
-        json,
-        "  \"pooled_vs_serial_dense_speedup_at_4_workers\": {pooled_at_4:.3},"
-    );
-    let _ = writeln!(json, "  \"bit_identical\": {all_ok}");
-    let _ = writeln!(json, "}}");
+    json_runs(&mut part_obj, &part_dense);
+    let last = part_obj.trim_end().len();
+    part_obj.truncate(last);
+    let _ = writeln!(part_obj, ",");
+    json_runs(&mut part_obj, &part_frontier);
+    let _ = write!(part_obj, "  ]}}");
 
-    let dir = std::path::Path::new("results");
-    std::fs::create_dir_all(dir).expect("create results/");
-    let path = dir.join("BENCH_vip_scaling.json");
-    std::fs::write(&path, json).expect("write BENCH_vip_scaling.json");
-    println!("wrote {}", path.display());
+    let mut report = BenchReport::new("vip_scaling");
+    report
+        .field("scale", format!("{}", cli.scale))
+        .field("seed", cli.seed.to_string())
+        .field("repeats", repeats.to_string())
+        .field("available_parallelism", avail.to_string())
+        .field(
+            "graph",
+            format!("{{\"vertices\": {n}, \"edges\": {edges}}}"),
+        )
+        .field("dense_scaling", dense_obj)
+        .field("per_partition", part_obj)
+        .field(
+            "pooled_vs_serial_dense_speedup_at_4_workers",
+            format!("{pooled_at_4:.3}"),
+        )
+        .field("bit_identical", all_ok.to_string());
+    if let Some(path) = report.write() {
+        println!("wrote {}", path.display());
+    }
 
     if !all_ok {
         eprintln!("FAILED: parallel/frontier sweeps are not bit-identical to serial dense");

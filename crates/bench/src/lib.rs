@@ -3,7 +3,9 @@
 //! Each binary in `src/bin/` regenerates one of the paper's tables or
 //! figures (see DESIGN.md §5 for the index and EXPERIMENTS.md for
 //! paper-vs-measured results). This library provides the text/CSV table
-//! formatter, the standard experiment datasets, and a tiny CLI parser.
+//! formatter, the provenance-stamped `results/BENCH_*.json` writer
+//! ([`report::BenchReport`]), the standard experiment datasets, and a
+//! tiny CLI parser.
 
 // Test modules assert by panicking; the workspace panic-family denies
 // (see [workspace.lints] in Cargo.toml) apply to library code only.
@@ -27,4 +29,4 @@ pub mod report;
 
 pub use cli::Cli;
 pub use datasets::{mag240_sim, papers_sim, products_sim, timing_variant};
-pub use report::Table;
+pub use report::{BenchReport, Table};

@@ -1,7 +1,10 @@
-//! Aligned text tables + CSV output for experiment results.
+//! Aligned text tables, CSV output, and provenance-stamped JSON
+//! reports for experiment results.
 
+use spp_core::SweepStrategy;
+use spp_runtime::pool::WorkerPool;
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A simple result table: header row plus data rows, rendered as aligned
 /// monospace text (right-aligned data columns, left-aligned first column)
@@ -120,6 +123,145 @@ impl Table {
     }
 }
 
+/// Schema version stamped into every `BENCH_*.json` header. Bump when
+/// the shared header fields change shape.
+pub const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Provenance-stamped JSON writer for `results/BENCH_*.json`.
+///
+/// Every harness that emits machine-readable results goes through this
+/// helper so all `BENCH_*` files share one header: `schema_version`,
+/// the bench name, the git commit the run came from, the worker-pool
+/// budget ([`WorkerPool::global`]), and the VIP sweep strategy in
+/// effect (the workspace default unless the harness pins one via
+/// [`BenchReport::sweep_strategy`]). Body fields are raw JSON fragments
+/// appended in insertion order — harnesses format numbers and nested
+/// objects themselves, which keeps this serde-free.
+#[derive(Clone, Debug)]
+pub struct BenchReport {
+    name: String,
+    fields: Vec<(String, String)>,
+}
+
+impl BenchReport {
+    /// A report named `name` (the file becomes
+    /// `results/BENCH_<name>.json`), with the provenance header already
+    /// stamped.
+    pub fn new(name: &str) -> Self {
+        let mut r = Self {
+            name: name.to_string(),
+            fields: Vec::new(),
+        };
+        r.field("schema_version", BENCH_SCHEMA_VERSION.to_string());
+        r.string("bench", name);
+        r.string("git_commit", &git_commit());
+        r.field("pool_workers", WorkerPool::global().workers().to_string());
+        r.string(
+            "sweep_strategy",
+            sweep_strategy_name(SweepStrategy::default()),
+        );
+        r
+    }
+
+    /// Overrides the stamped sweep strategy, for harnesses that pin one
+    /// instead of running the workspace default.
+    pub fn sweep_strategy(&mut self, s: SweepStrategy) -> &mut Self {
+        let v = format!("\"{}\"", sweep_strategy_name(s));
+        for (k, old) in &mut self.fields {
+            if k == "sweep_strategy" {
+                *old = v;
+                return self;
+            }
+        }
+        self.fields.push(("sweep_strategy".to_string(), v));
+        self
+    }
+
+    /// Appends a field whose value is a raw JSON fragment (number,
+    /// bool, or a pre-rendered array/object — possibly multi-line).
+    pub fn field(&mut self, key: &str, raw_json: impl Into<String>) -> &mut Self {
+        self.fields.push((key.to_string(), raw_json.into()));
+        self
+    }
+
+    /// Appends a string-valued field (escaped).
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.field(key, format!("\"{}\"", json_escape(value)))
+    }
+
+    /// Renders the report as a JSON object, one field per line in
+    /// insertion order.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let sep = if i + 1 < self.fields.len() { "," } else { "" };
+            let _ = writeln!(out, "  \"{}\": {v}{sep}", json_escape(k));
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `results/BENCH_<name>.json` (creating the directory),
+    /// returning the path. Errors are printed, not fatal — mirrors
+    /// [`Table::write_csv`].
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = Path::new("results");
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create results/: {e}");
+            return None;
+        }
+        let path = dir.join(format!("BENCH_{}.json", self.name));
+        match std::fs::write(&path, self.render()) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// The kebab-case name a sweep strategy is reported under.
+fn sweep_strategy_name(s: SweepStrategy) -> &'static str {
+    match s {
+        SweepStrategy::Auto => "auto",
+        SweepStrategy::Dense => "dense",
+        SweepStrategy::FrontierSparse => "frontier-sparse",
+    }
+}
+
+/// The current git commit, or `"unknown"` outside a work tree.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// Formats seconds as a human-friendly duration string.
 pub fn fmt_secs(s: f64) -> String {
     if s >= 1.0 {
@@ -173,5 +315,39 @@ mod tests {
         assert_eq!(fmt_secs(2.5), "2.50s");
         assert_eq!(fmt_secs(0.0025), "2.50ms");
         assert_eq!(fmt_secs(0.0000025), "2.5us");
+    }
+
+    #[test]
+    fn bench_report_stamps_header_in_order() {
+        let mut r = BenchReport::new("demo");
+        r.field("answer", "42").string("note", "a \"quoted\"\nline");
+        let s = r.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "{");
+        assert_eq!(lines[1], "  \"schema_version\": 1,");
+        assert_eq!(lines[2], "  \"bench\": \"demo\",");
+        assert!(lines[3].starts_with("  \"git_commit\": \""), "{}", lines[3]);
+        assert!(lines[4].starts_with("  \"pool_workers\": "), "{}", lines[4]);
+        assert_eq!(lines[5], "  \"sweep_strategy\": \"auto\",");
+        assert_eq!(lines[6], "  \"answer\": 42,");
+        // Last field: escaped string, no trailing comma.
+        assert_eq!(lines[7], "  \"note\": \"a \\\"quoted\\\"\\nline\"");
+        assert_eq!(*lines.last().unwrap(), "}");
+    }
+
+    #[test]
+    fn bench_report_strategy_override() {
+        let mut r = BenchReport::new("demo");
+        r.sweep_strategy(SweepStrategy::FrontierSparse);
+        let s = r.render();
+        assert!(s.contains("\"sweep_strategy\": \"frontier-sparse\""), "{s}");
+        assert!(!s.contains("\"auto\""), "{s}");
+    }
+
+    #[test]
+    fn bench_report_pool_workers_matches_global() {
+        let want = WorkerPool::global().workers();
+        let s = BenchReport::new("demo").render();
+        assert!(s.contains(&format!("\"pool_workers\": {want},")), "{s}");
     }
 }

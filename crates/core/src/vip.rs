@@ -39,6 +39,27 @@
 use spp_graph::{CsrGraph, VertexId};
 use spp_pool::{balanced_ranges, WorkerPool};
 use spp_sampler::Fanouts;
+use spp_telemetry::metrics::{self, Counter, Histogram};
+use std::sync::OnceLock;
+
+/// Cached telemetry handles for the sweep hot path: which strategy each
+/// hop chose, how large its frontier was, and how long each partition's
+/// sweep ran (the `core.vip.partition_sweep` span histogram is
+/// auto-registered by the span itself).
+struct VipMetrics {
+    hops_dense: Counter,
+    hops_sparse: Counter,
+    frontier_size: Histogram,
+}
+
+fn vip_metrics() -> &'static VipMetrics {
+    static METRICS: OnceLock<VipMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| VipMetrics {
+        hops_dense: metrics::counter("core.vip.hops_dense"),
+        hops_sparse: metrics::counter("core.vip.hops_sparse"),
+        frontier_size: metrics::histogram("core.vip.frontier_size"),
+    })
+}
 
 /// How [`VipModel::hop_scores_with`] evaluates each hop.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -180,6 +201,15 @@ impl VipModel {
                 // `prev`, so the choice is replica-deterministic.
                 SweepStrategy::Auto => support.len() * 8 <= n,
             };
+            if metrics::enabled() {
+                let m = vip_metrics();
+                m.frontier_size.observe(support.len() as u64);
+                if sparse {
+                    m.hops_sparse.inc();
+                } else {
+                    m.hops_dense.inc();
+                }
+            }
             let transpose: Option<&CsrGraph> =
                 if sparse {
                     Some(shared_transpose.unwrap_or_else(|| {
@@ -279,6 +309,7 @@ impl VipModel {
         let inv_deg = inv_degrees(graph);
         let inner = pool.split(k);
         pool.run_jobs(k, |i| {
+            let _sweep = spp_telemetry::span!("core.vip.partition_sweep");
             let p0 = self.initial_probabilities(graph.num_vertices(), &train_of_part[i]);
             let hops = self.hop_scores_impl(
                 inner,

@@ -216,11 +216,18 @@ impl<'a> Trainer<'a> {
         // Prepare one wave of batches ahead of the sequential model
         // updates; wave size = worker budget keeps at most one wave of
         // MFGs and gathered features resident.
+        let _epoch_span = spp_telemetry::span!("gnn.trainer.epoch");
+        let batches_counter = spp_telemetry::metrics::counter("gnn.trainer.batches");
         for (wave_idx, wave) in batch_list.chunks(pool.workers().max(1)).enumerate() {
             let base = wave_idx * pool.workers().max(1);
-            let prepped = pool.run_jobs(wave.len(), |j| {
-                Self::prepare_batch(ds, &sampler, seed, epoch, (base + j) as u64, &wave[j])
-            });
+            let prepped = {
+                let _prep = spp_telemetry::span!("gnn.trainer.wave_prep");
+                pool.run_jobs(wave.len(), |j| {
+                    Self::prepare_batch(ds, &sampler, seed, epoch, (base + j) as u64, &wave[j])
+                })
+            };
+            let _update = spp_telemetry::span!("gnn.trainer.wave_update");
+            batches_counter.add(prepped.len() as u64);
             for (j, (mfg, x, labels)) in prepped.into_iter().enumerate() {
                 let mut model_rng = StdRng::seed_from_u64(batch_stream_seed(
                     seed ^ MODEL_STREAM_SALT,

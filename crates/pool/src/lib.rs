@@ -24,6 +24,13 @@
 //! overridable with the `SPP_POOL_WORKERS` environment variable (read
 //! once, at first use).
 //!
+//! Regions are instrumented with `spp-telemetry`: counters
+//! `pool.regions` / `pool.jobs` / `pool.threads_forked` / `pool.merges`,
+//! gauge `pool.queue_depth`, and histograms `pool.job_ns` /
+//! `pool.region_ns`. Recording is a no-op (one relaxed flag load) while
+//! telemetry is disabled, and metrics never feed back into scheduling,
+//! so determinism guarantee 2 holds with tracing on or off.
+//!
 //! This crate sits below `spp-core`/`spp-tensor` in the dependency graph
 //! so their kernels can use it; `spp-runtime` re-exports it as
 //! `spp_runtime::pool`, which is the sanctioned entry point for
@@ -53,8 +60,43 @@
     )
 )]
 
+use spp_telemetry::metrics::{self, Counter, Gauge, Histogram};
 use std::ops::Range;
 use std::sync::OnceLock;
+
+/// Cached telemetry handles for the pool hot paths. Registered on first
+/// use; every recording call is a no-op while telemetry is disabled
+/// (`spp_telemetry::enabled()` gates the whole block, so the disabled
+/// cost is one relaxed load per region).
+struct PoolMetrics {
+    /// Parallel regions entered (`run_jobs` / `par_chunks`).
+    regions: Counter,
+    /// Jobs dealt across all regions.
+    jobs: Counter,
+    /// Scoped threads forked (regions that stayed serial fork none).
+    threads_forked: Counter,
+    /// Index-ordered result merges (the tag+sort path of `run_jobs`).
+    merges: Counter,
+    /// Jobs queued in the most recent region (max = widest region).
+    queue_depth: Gauge,
+    /// Per-job latency, nanoseconds.
+    job_ns: Histogram,
+    /// Whole-region latency (fork + work + merge), nanoseconds.
+    region_ns: Histogram,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| PoolMetrics {
+        regions: metrics::counter("pool.regions"),
+        jobs: metrics::counter("pool.jobs"),
+        threads_forked: metrics::counter("pool.threads_forked"),
+        merges: metrics::counter("pool.merges"),
+        queue_depth: metrics::gauge("pool.queue_depth"),
+        job_ns: metrics::histogram("pool.job_ns"),
+        region_ns: metrics::histogram("pool.region_ns"),
+    })
+}
 
 /// Minimum per-job work (in abstract cost units — FLOPs, edges, bytes)
 /// below which forking another worker costs more than it saves. One
@@ -148,12 +190,26 @@ impl WorkerPool {
         if num_jobs == 0 {
             return Vec::new();
         }
+        let tm = metrics::enabled().then(pool_metrics);
+        if let Some(m) = tm {
+            m.regions.inc();
+            m.jobs.add(num_jobs as u64);
+            m.queue_depth.set(num_jobs as u64);
+        }
+        let _region = tm.map(|m| m.region_ns.time());
+        let run = |i: usize| {
+            let _t = tm.map(|m| m.job_ns.time());
+            f(i)
+        };
         let threads = self.workers.min(num_jobs);
         if threads <= 1 {
-            return (0..num_jobs).map(f).collect();
+            return (0..num_jobs).map(run).collect();
+        }
+        if let Some(m) = tm {
+            m.threads_forked.add(threads as u64);
         }
         let mut tagged: Vec<(usize, R)> = Vec::with_capacity(num_jobs);
-        let f = &f;
+        let run = &run;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
@@ -161,7 +217,7 @@ impl WorkerPool {
                         let mut part = Vec::new();
                         let mut i = w;
                         while i < num_jobs {
-                            part.push((i, f(i)));
+                            part.push((i, run(i)));
                             i += threads;
                         }
                         part
@@ -173,6 +229,9 @@ impl WorkerPool {
                 tagged.extend(part);
             }
         });
+        if let Some(m) = tm {
+            m.merges.inc();
+        }
         tagged.sort_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, r)| r).collect()
     }
@@ -233,12 +292,26 @@ impl WorkerPool {
             rest = tail;
             start = cut;
         }
+        let tm = metrics::enabled().then(pool_metrics);
+        if let Some(m) = tm {
+            m.regions.inc();
+            m.jobs.add(pieces.len() as u64);
+            m.queue_depth.set(pieces.len() as u64);
+        }
+        let _region = tm.map(|m| m.region_ns.time());
+        let run = |ci: usize, off: usize, chunk: &mut [T]| {
+            let _t = tm.map(|m| m.job_ns.time());
+            f(ci, off, chunk);
+        };
         let threads = self.workers.min(pieces.len().max(1));
         if threads <= 1 {
             for (ci, off, chunk) in pieces {
-                f(ci, off, chunk);
+                run(ci, off, chunk);
             }
             return;
+        }
+        if let Some(m) = tm {
+            m.threads_forked.add(threads as u64);
         }
         // Deal chunks round-robin (timing-independent assignment).
         let mut per_worker: Vec<Vec<(usize, usize, &mut [T])>> =
@@ -246,14 +319,14 @@ impl WorkerPool {
         for (i, piece) in pieces.into_iter().enumerate() {
             per_worker[i % threads].push(piece);
         }
-        let f = &f;
+        let run = &run;
         std::thread::scope(|s| {
             let handles: Vec<_> = per_worker
                 .into_iter()
                 .map(|chunks| {
                     s.spawn(move || {
                         for (ci, off, chunk) in chunks {
-                            f(ci, off, chunk);
+                            run(ci, off, chunk);
                         }
                     })
                 })

@@ -1,0 +1,66 @@
+//! Telemetry counters under pool concurrency: increments recorded from
+//! N concurrent pool workers must merge exactly — the thread-local
+//! shard design (with free-list recycling of worker shards) can never
+//! lose or double-count an event, for any worker/job/increment mix.
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use proptest::prelude::*;
+use spp_pool::WorkerPool;
+use spp_telemetry as tel;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        workers in 1usize..=8,
+        adds_per_job in proptest::collection::vec(0u64..=64, 1usize..25),
+    ) {
+        tel::set_enabled(true);
+        let c = tel::counter("test.pool.concurrent_adds");
+        let before = c.value();
+        let jobs = adds_per_job.len();
+        let adds = &adds_per_job;
+        WorkerPool::new(workers).run_jobs(jobs, |j| {
+            // Distinct per-job weights so a lost/duplicated shard write
+            // shifts the total no matter which job it came from.
+            for _ in 0..adds[j] {
+                c.add(j as u64 + 1);
+            }
+        });
+        let expect: u64 = adds_per_job
+            .iter()
+            .enumerate()
+            .map(|(j, &n)| n * (j as u64 + 1))
+            .sum();
+        prop_assert_eq!(c.value() - before, expect);
+    }
+
+    #[test]
+    fn histogram_observations_merge_exactly_across_workers(
+        workers in 1usize..=8,
+        samples_per_job in proptest::collection::vec(0u64..=1024, 1usize..17),
+    ) {
+        tel::set_enabled(true);
+        let h = tel::histogram("test.pool.concurrent_hist");
+        let before = h.snapshot();
+        let samples = &samples_per_job;
+        WorkerPool::new(workers).run_jobs(samples.len(), |j| {
+            h.observe(samples[j]);
+        });
+        let after = h.snapshot();
+        prop_assert_eq!(after.count - before.count, samples_per_job.len() as u64);
+        prop_assert_eq!(
+            after.sum - before.sum,
+            samples_per_job.iter().sum::<u64>()
+        );
+    }
+}

@@ -17,6 +17,7 @@ use spp_gnn::metrics::{predictions, AccuracyMeter};
 use spp_gnn::{Arch, GnnModel, MODEL_STREAM_SALT};
 use spp_graph::{FeatureMatrix, VertexId};
 use spp_sampler::{batch_stream_seed, Mfg, MinibatchIter, NodeWiseSampler};
+use spp_telemetry::metrics::{self, Counter};
 use spp_tensor::{Adam, Matrix, Optimizer};
 use std::sync::Arc;
 
@@ -123,6 +124,20 @@ impl<'a> DistributedTrainer<'a> {
         let grads_x = AllToAll::<Payload>::new(k);
         let setup = self.setup;
         let cfg = &self.config;
+        // Per-machine-pair byte counters (Figure 1's comm-volume view).
+        // Registered lazily only when telemetry is on, so disabled runs
+        // never touch the registry. `Counter` is a Copy index; the matrix
+        // is shared by reference across machine threads.
+        let comm_counters: Option<Vec<Vec<Counter>>> = metrics::enabled().then(|| {
+            (0..k)
+                .map(|i| {
+                    (0..k)
+                        .map(|j| metrics::counter(&format!("comm.bytes.m{i}_to_m{j}")))
+                        .collect()
+                })
+                .collect()
+        });
+        let comm_counters = &comm_counters;
 
         let mut results = run_machines(k, |rank| {
             let mut model = GnnModel::new(cfg.arch, &dims, cfg.seed);
@@ -142,6 +157,7 @@ impl<'a> DistributedTrainer<'a> {
             let mut remote_fetches = 0usize;
 
             for epoch in 0..cfg.epochs as u64 {
+                let _epoch_span = spp_telemetry::span!("runtime.engine.epoch");
                 let batches: Vec<Vec<VertexId>> = MinibatchIter::new(
                     &setup.local_train[rank],
                     setup.config.batch_size,
@@ -170,6 +186,9 @@ impl<'a> DistributedTrainer<'a> {
                         remote_fetches += p.num_remote();
                         for (owner, reqs) in p.remote.iter().enumerate() {
                             if !reqs.is_empty() {
+                                if let Some(cc) = comm_counters {
+                                    cc[rank][owner].add(4 * reqs.len() as u64);
+                                }
                                 outgoing[owner] =
                                     Payload::Ids(reqs.iter().map(|&(_, v)| v).collect());
                             }
@@ -180,8 +199,15 @@ impl<'a> DistributedTrainer<'a> {
                     // Phase 2: serve and exchange features.
                     let responses: Vec<Payload> = incoming
                         .into_iter()
-                        .map(|msg| match msg {
-                            Payload::Ids(ids) => Payload::Feats(setup.stores[rank].serve(&ids)),
+                        .enumerate()
+                        .map(|(requester, msg)| match msg {
+                            Payload::Ids(ids) => {
+                                let f = setup.stores[rank].serve(&ids);
+                                if let Some(cc) = comm_counters {
+                                    cc[rank][requester].add(4 * (f.num_rows() * f.dim()) as u64);
+                                }
+                                Payload::Feats(f)
+                            }
                             _ => Payload::Empty,
                         })
                         .collect();
@@ -225,8 +251,15 @@ impl<'a> DistributedTrainer<'a> {
 
                     // Phase 3: gradient all-gather + average + step.
                     let outgoing: Vec<Payload> = (0..k)
-                        .map(|_| match &grads {
-                            Some(g) => Payload::Grads(g.clone()),
+                        .map(|peer| match &grads {
+                            Some(g) => {
+                                if peer != rank {
+                                    if let Some(cc) = comm_counters {
+                                        cc[rank][peer].add(4 * g.len() as u64);
+                                    }
+                                }
+                                Payload::Grads(g.clone())
+                            }
                             None => Payload::Empty,
                         })
                         .collect();

@@ -17,6 +17,9 @@
 //! - [`engine`] — correctness-grade distributed training on real threads
 //!   with all-to-all feature exchange and gradient averaging; verifies
 //!   that partitioned+cached execution matches single-machine training.
+//! - [`telemetry`] — the workspace observability layer (re-export of
+//!   `spp-telemetry`): metrics registry, scoped spans, and the
+//!   `SPP_TRACE` Chrome-trace/JSONL exporters (DESIGN.md §10).
 
 // Test modules assert by panicking; the workspace panic-family denies
 // (see [workspace.lints] in Cargo.toml) apply to library code only.
@@ -40,6 +43,7 @@ pub mod pipeline;
 pub mod pool;
 pub mod setup;
 pub mod systems;
+pub mod telemetry;
 pub mod volume;
 pub mod workload;
 

@@ -23,23 +23,52 @@ use crate::cost::CostModel;
 use crate::setup::DistributedSetup;
 use crate::workload::{measure_epoch, BatchStats};
 use spp_comm::{DesEngine, TaskId};
+use spp_telemetry::stage::PipelineStage;
 
-/// Per-stage busy time (seconds, summed over machines), indexed 1..=10
-/// plus training and all-reduce.
+/// Per-stage busy time (seconds, summed over machines), covering the ten
+/// Appendix-D stages plus training and the gradient all-reduce.
+///
+/// Stage identity comes from [`PipelineStage`] — the same enum that names
+/// telemetry spans and DES task labels — so simulator accounting, trace
+/// output, and metrics can never drift apart.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct StageBusy {
-    /// `stage[i]` = busy seconds of Appendix-D stage `i+1`.
-    pub stage: [f64; 10],
-    /// GPU training compute.
-    pub train: f64,
-    /// Gradient all-reduce.
-    pub allreduce: f64,
+    busy: [f64; PipelineStage::COUNT],
 }
 
 impl StageBusy {
+    /// Adds `seconds` of busy time to `stage`.
+    pub fn add(&mut self, stage: PipelineStage, seconds: f64) {
+        self.busy[stage.index()] += seconds;
+    }
+
+    /// Busy seconds of `stage`.
+    pub fn get(&self, stage: PipelineStage) -> f64 {
+        self.busy[stage.index()]
+    }
+
+    /// Busy seconds of Appendix-D stage `appendix` (1-based, `1..=10`);
+    /// zero for indices outside that range.
+    pub fn stage(&self, appendix: usize) -> f64 {
+        PipelineStage::ALL
+            .iter()
+            .find(|s| s.appendix_stage() == Some(appendix))
+            .map_or(0.0, |s| self.get(*s))
+    }
+
+    /// GPU training compute busy seconds.
+    pub fn train(&self) -> f64 {
+        self.get(PipelineStage::Train)
+    }
+
+    /// Gradient all-reduce busy seconds.
+    pub fn allreduce(&self) -> f64 {
+        self.get(PipelineStage::AllReduce)
+    }
+
     /// Total busy seconds.
     pub fn total(&self) -> f64 {
-        self.stage.iter().sum::<f64>() + self.train + self.allreduce
+        self.busy.iter().sum()
     }
 }
 
@@ -114,7 +143,15 @@ impl<'a> PipelineSim<'a> {
     }
 
     /// Runs the simulation for one epoch.
+    ///
+    /// When telemetry is enabled ([`spp_telemetry::enabled`]) the DES
+    /// task trace is replayed into the event log as virtual-time spans
+    /// (one track per simulated resource), so `SPP_TRACE=1` runs show
+    /// every Appendix-D stage on the Chrome-trace timeline. The trace is
+    /// write-only: simulated times are never read back, so enabling it
+    /// cannot perturb the computed epoch.
     pub fn simulate_epoch(&self, epoch: u64) -> PipelineEpoch {
+        let _span = spp_telemetry::span!("runtime.pipeline.simulate_epoch");
         let k = self.setup.num_machines();
         let stats: Vec<Vec<BatchStats>> = measure_epoch(self.setup, false, epoch);
         let rounds = stats.iter().map(Vec::len).max().unwrap_or(0);
@@ -130,6 +167,10 @@ impl<'a> PipelineSim<'a> {
         };
 
         let mut des = DesEngine::new();
+        let emit_trace = spp_telemetry::enabled();
+        if emit_trace {
+            des.enable_trace();
+        }
         let cpu: Vec<_> = (0..k)
             .map(|m| des.add_resource(&format!("cpu{m}")))
             .collect();
@@ -179,8 +220,8 @@ impl<'a> PipelineSim<'a> {
                     deps.push(done[r - self.depth][m]);
                 }
                 let dur = self.cost.sample_time(s.edges);
-                busy.stage[0] += dur;
-                s1[m] = Some(des.submit(cpu[m], dur, &deps));
+                busy.add(PipelineStage::Sample, dur);
+                s1[m] = Some(des.submit_labeled(cpu[m], dur, &deps, PipelineStage::Sample.short()));
             }
             let all_s1: Vec<TaskId> = s1.iter().flatten().copied().collect();
 
@@ -195,26 +236,38 @@ impl<'a> PipelineSim<'a> {
                     continue;
                 }
                 let dur2 = meta(&self.cost);
-                busy.stage[1] += dur2;
+                busy.add(PipelineStage::CountExchange, dur2);
                 let deps2: Vec<TaskId> = match s1[m] {
                     Some(t) if has_batch => vec![t],
                     _ => all_s1.clone(),
                 };
-                let t2 = des.submit(nic_ctl[m], dur2, &deps2);
+                let t2 = des.submit_labeled(
+                    nic_ctl[m],
+                    dur2,
+                    &deps2,
+                    PipelineStage::CountExchange.short(),
+                );
                 let dur3 = self.cost.pcie_time(64.0 * k as f64);
-                busy.stage[2] += dur3;
-                let t3 = des.submit(copy[m], dur3, &[t2]);
+                busy.add(PipelineStage::MetaToHost, dur3);
+                let t3 =
+                    des.submit_labeled(copy[m], dur3, &[t2], PipelineStage::MetaToHost.short());
                 let req_out = stats[m].get(r).map_or(0, |s| s.remote_total) as f64 * 4.0;
                 let req_in = served[m] as f64 * 4.0;
                 let dur4 = self.cost.exchange_time(req_out, req_in);
-                busy.stage[3] += dur4;
+                busy.add(PipelineStage::RequestExchange, dur4);
                 // Requests can only arrive once every peer has sampled.
                 let mut deps4 = vec![t3];
                 deps4.extend(&all_s1);
-                let t4 = des.submit(nic_ctl[m], dur4, &deps4);
+                let t4 = des.submit_labeled(
+                    nic_ctl[m],
+                    dur4,
+                    &deps4,
+                    PipelineStage::RequestExchange.short(),
+                );
                 let dur5 = self.cost.pcie_time(req_in);
-                busy.stage[4] += dur5;
-                s5[m] = Some(des.submit(copy[m], dur5, &[t4]));
+                busy.add(PipelineStage::MapD2h, dur5);
+                s5[m] =
+                    Some(des.submit_labeled(copy[m], dur5, &[t4], PipelineStage::MapD2h.short()));
             }
 
             // Stage 6: background CPU thread — masked selection + CPU
@@ -234,19 +287,19 @@ impl<'a> PipelineSim<'a> {
                 let cached = s.map_or(0, |s| s.cached);
                 let slice_rows = served[m] + local_cpu + cached;
                 let dur6 = self.cost.slice_time(slice_rows, d) + 10e-6;
-                busy.stage[5] += dur6;
+                busy.add(PipelineStage::HostSlice, dur6);
                 let deps6: Vec<TaskId> = s5[m].into_iter().chain(s1[m]).collect();
-                let t6 = des.submit(cpu[m], dur6, &deps6);
+                let t6 = des.submit_labeled(cpu[m], dur6, &deps6, PipelineStage::HostSlice.short());
 
                 let h2d_rows = local_cpu + cached + served[m];
                 let dur7 = self.cost.pcie_time(h2d_rows as f64 * fb);
-                busy.stage[6] += dur7;
-                let t7 = des.submit(copy[m], dur7, &[t6]);
+                busy.add(PipelineStage::H2d, dur7);
+                let t7 = des.submit_labeled(copy[m], dur7, &[t6], PipelineStage::H2d.short());
 
                 let gpu_rows = s.map_or(0, |s| s.local_gpu);
                 let dur8 = (gpu_rows + served[m]) as f64 * fb / gpu_mem_rate + 5e-6;
-                busy.stage[7] += dur8;
-                let t8 = des.submit(gpu[m], dur8, &[t7]);
+                busy.add(PipelineStage::GpuSlice, dur8);
+                let t8 = des.submit_labeled(gpu[m], dur8, &[t7], PipelineStage::GpuSlice.short());
                 s8_serve[m] = Some(t8);
                 let _ = &t8;
                 s10[m] = Some(t8); // placeholder; replaced after stage 9 below
@@ -261,26 +314,41 @@ impl<'a> PipelineSim<'a> {
                 let inb = s.remote_total as f64 * fb;
                 let t9 = if out > 0.0 || inb > 0.0 {
                     let dur9 = self.cost.exchange_time(out, inb);
-                    busy.stage[8] += dur9;
+                    busy.add(PipelineStage::FeatureExchange, dur9);
                     let mut deps9 = all_s8.clone();
                     deps9.extend(s10[m]);
-                    Some(des.submit(nic[m], dur9, &deps9))
+                    Some(des.submit_labeled(
+                        nic[m],
+                        dur9,
+                        &deps9,
+                        PipelineStage::FeatureExchange.short(),
+                    ))
                 } else {
                     s10[m]
                 };
                 let total_rows = s.layer_rows[0];
                 let dur10 = total_rows as f64 * fb * 2.0 / gpu_mem_rate + 5e-6;
-                busy.stage[9] += dur10;
+                busy.add(PipelineStage::CombinePermute, dur10);
                 let deps10: Vec<TaskId> = t9.into_iter().collect();
-                let t10 = des.submit(gpu[m], dur10, &deps10);
+                let t10 = des.submit_labeled(
+                    gpu[m],
+                    dur10,
+                    &deps10,
+                    PipelineStage::CombinePermute.short(),
+                );
 
                 let dur_tr = self.cost.train_time(&s.layer_rows, &dims);
-                busy.train += dur_tr;
+                busy.add(PipelineStage::Train, dur_tr);
                 let mut deps_tr = vec![t10];
                 if r > 0 {
                     deps_tr.push(done[r - 1][m]);
                 }
-                train_tasks[m] = Some(des.submit(gpu[m], dur_tr, &deps_tr));
+                train_tasks[m] = Some(des.submit_labeled(
+                    gpu[m],
+                    dur_tr,
+                    &deps_tr,
+                    PipelineStage::Train.short(),
+                ));
             }
 
             // Gradient all-reduce + round completion.
@@ -290,8 +358,13 @@ impl<'a> PipelineSim<'a> {
                 let end = match train_tasks[m] {
                     Some(_) if active.len() > 1 => {
                         let dur = self.cost.allreduce_time(active.len(), grad_bytes);
-                        busy.allreduce += dur;
-                        des.submit(nic_grad[m], dur, &active)
+                        busy.add(PipelineStage::AllReduce, dur);
+                        des.submit_labeled(
+                            nic_grad[m],
+                            dur,
+                            &active,
+                            PipelineStage::AllReduce.short(),
+                        )
                     }
                     Some(t) => t,
                     None => s8_serve[m].unwrap_or_else(|| des.join(&[])),
@@ -299,6 +372,13 @@ impl<'a> PipelineSim<'a> {
                 round_done.push(des.join(&[end]));
             }
             done.push(round_done);
+        }
+
+        if emit_trace {
+            for e in des.trace() {
+                let track = spp_telemetry::sim_track(des.resource_name(e.resource));
+                spp_telemetry::record_sim_span(track, e.label.clone(), e.start, e.end - e.start);
+            }
         }
 
         PipelineEpoch {
@@ -388,10 +468,10 @@ mod tests {
         let b = PipelineSim::new(&bare, cost, 64, 10).simulate_epoch(0);
         let c = PipelineSim::new(&cached, cost, 64, 10).simulate_epoch(0);
         assert!(
-            c.busy.stage[8] < b.busy.stage[8],
+            c.busy.get(PipelineStage::FeatureExchange) < b.busy.get(PipelineStage::FeatureExchange),
             "feature all-to-all busy must drop: {} vs {}",
-            b.busy.stage[8],
-            c.busy.stage[8]
+            b.busy.get(PipelineStage::FeatureExchange),
+            c.busy.get(PipelineStage::FeatureExchange)
         );
     }
 

@@ -21,6 +21,7 @@
 use crate::cost::CostModel;
 use crate::setup::DistributedSetup;
 use spp_comm::{DesEngine, TaskId};
+use spp_telemetry::stage::PipelineStage;
 
 /// Which system variant to simulate.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -312,7 +313,8 @@ impl<'a> EpochSim<'a> {
                 }
                 let dur = self.cost.sample_time(s.edges) * self.spec.sample_slowdown;
                 bd.sample += dur;
-                sample_tasks[m] = Some(des.submit_labeled(cpu[m], dur, &deps, "sample"));
+                sample_tasks[m] =
+                    Some(des.submit_labeled(cpu[m], dur, &deps, PipelineStage::Sample.short()));
             }
             let all_samples: Vec<TaskId> = sample_tasks.iter().flatten().copied().collect();
 
@@ -323,6 +325,9 @@ impl<'a> EpochSim<'a> {
                 if served[m] > 0 {
                     let dur = self.cost.slice_time(served[m], d);
                     bd.serve += dur;
+                    // "serve" is this coarse model's own subdivision of
+                    // Appendix-D stage 6 (slicing done on behalf of
+                    // peers); it has no PipelineStage variant on purpose.
                     serve_tasks[m] = Some(des.submit_labeled(cpu[m], dur, &all_samples, "serve"));
                 }
             }
@@ -336,7 +341,12 @@ impl<'a> EpochSim<'a> {
                 let slice = if slice_rows > 0 {
                     let dur = self.cost.slice_time(slice_rows, d);
                     bd.slice += dur;
-                    Some(des.submit_labeled(cpu[m], dur, &[sample], "slice"))
+                    Some(des.submit_labeled(
+                        cpu[m],
+                        dur,
+                        &[sample],
+                        PipelineStage::HostSlice.short(),
+                    ))
                 } else {
                     None
                 };
@@ -347,7 +357,12 @@ impl<'a> EpochSim<'a> {
                     bd.comm += dur;
                     let mut deps: Vec<TaskId> = vec![sample];
                     deps.extend(serve_tasks.iter().flatten().copied());
-                    Some(des.submit_labeled(nic[m], dur, &deps, "comm"))
+                    Some(des.submit_labeled(
+                        nic[m],
+                        dur,
+                        &deps,
+                        PipelineStage::FeatureExchange.short(),
+                    ))
                 } else {
                     None
                 };
@@ -357,7 +372,7 @@ impl<'a> EpochSim<'a> {
                     bd.h2d += dur;
                     let deps: Vec<TaskId> = [slice, comm].into_iter().flatten().collect();
                     let deps = if deps.is_empty() { vec![sample] } else { deps };
-                    Some(des.submit_labeled(copy[m], dur, &deps, "h2d"))
+                    Some(des.submit_labeled(copy[m], dur, &deps, PipelineStage::H2d.short()))
                 } else {
                     None
                 };
@@ -376,7 +391,8 @@ impl<'a> EpochSim<'a> {
                     // Synchronous SGD: step r-1 must be applied first.
                     deps.push(done[r - 1][m]);
                 }
-                train_tasks[m] = Some(des.submit_labeled(gpu[m], dur, &deps, "train"));
+                train_tasks[m] =
+                    Some(des.submit_labeled(gpu[m], dur, &deps, PipelineStage::Train.short()));
             }
 
             // Pass 3: gradient all-reduce across the machines active this
@@ -389,7 +405,12 @@ impl<'a> EpochSim<'a> {
                     Some(_) if active_count > 1 && !inference => {
                         let dur = self.cost.allreduce_time(active_count, grad_bytes);
                         bd.allreduce += dur;
-                        des.submit_labeled(nic_grad[m], dur, &active, "allreduce")
+                        des.submit_labeled(
+                            nic_grad[m],
+                            dur,
+                            &active,
+                            PipelineStage::AllReduce.short(),
+                        )
                     }
                     Some(t) => t,
                     // Idle machine: its round ends when it finishes serving.

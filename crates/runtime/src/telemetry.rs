@@ -1,0 +1,8 @@
+//! The workspace observability layer (DESIGN.md §10).
+//!
+//! Thin re-export of [`spp_telemetry`] so downstream code and binaries
+//! can reach the metrics registry, span guards, pipeline stage names,
+//! and the `SPP_TRACE` exporters as `spp_runtime::telemetry::…` without
+//! a separate dependency edge.
+
+pub use spp_telemetry::*;

@@ -1,0 +1,119 @@
+//! Determinism guard for telemetry: turning the recorder on must not
+//! change any computed result (DESIGN.md §9 bit-identity, §10
+//! constraint 2). Recording only writes to metric shards and the event
+//! ring — nothing flows back into the computation — so VIP partition
+//! scores and trainer losses must be bit-identical with tracing on and
+//! off. `SPP_TRACE=1` routes through the same `set_enabled` switch this
+//! test toggles (`init_from_env`), so this pins the env-knob path too.
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use spp_core::policies::CachePolicy;
+use spp_core::{SweepStrategy, VipModel};
+use spp_graph::dataset::{Dataset, SyntheticSpec};
+use spp_graph::VertexId;
+use spp_runtime::pool::WorkerPool;
+use spp_runtime::{DistTrainConfig, DistributedSetup, DistributedTrainer, SetupConfig};
+use spp_sampler::Fanouts;
+use spp_telemetry as tel;
+
+fn tiny_ds() -> Dataset {
+    SyntheticSpec::new("t", 600, 10.0, 8, 4)
+        .split_fractions(0.3, 0.1, 0.1)
+        .seed(7)
+        .build()
+}
+
+/// Per-partition VIP scores over a 3-way split of the training set,
+/// on a multi-worker pool (the path `cargo xtask lint` rule L6 and the
+/// caching policy exercise).
+fn vip_scores(ds: &Dataset) -> Vec<Vec<f64>> {
+    let parts: Vec<Vec<VertexId>> = (0..3)
+        .map(|m| {
+            ds.split
+                .train
+                .iter()
+                .copied()
+                .filter(|v| (*v as usize) % 3 == m)
+                .collect()
+        })
+        .collect();
+    VipModel::new(Fanouts::new(vec![4, 3]), 16).partition_scores_with(
+        WorkerPool::new(4),
+        &ds.graph,
+        &parts,
+        SweepStrategy::Auto,
+    )
+}
+
+/// A short distributed-training run; returns per-epoch mean losses.
+fn train_losses(ds: &Dataset) -> Vec<f64> {
+    let setup = DistributedSetup::build(
+        ds,
+        SetupConfig {
+            num_machines: 3,
+            fanouts: Fanouts::new(vec![4, 3]),
+            batch_size: 16,
+            policy: CachePolicy::VipAnalytic,
+            alpha: 0.2,
+            beta: 0.5,
+            ..SetupConfig::default()
+        },
+    );
+    let trainer = DistributedTrainer::new(
+        &setup,
+        DistTrainConfig {
+            hidden_dim: 8,
+            epochs: 2,
+            seed: 1,
+            ..DistTrainConfig::default()
+        },
+    );
+    trainer.train().0.epoch_losses
+}
+
+fn bits2(m: &[Vec<f64>]) -> Vec<Vec<u64>> {
+    m.iter()
+        .map(|r| r.iter().map(|x| x.to_bits()).collect())
+        .collect()
+}
+
+#[test]
+fn tracing_on_and_off_are_bit_identical() {
+    let ds = tiny_ds();
+
+    tel::set_enabled(false);
+    let scores_off = vip_scores(&ds);
+    let losses_off = train_losses(&ds);
+
+    tel::set_enabled(true);
+    let scores_on = vip_scores(&ds);
+    let losses_on = train_losses(&ds);
+    tel::set_enabled(false);
+
+    // The traced run actually recorded something — otherwise this test
+    // would pass vacuously with a broken recorder.
+    assert!(
+        tel::snapshot()
+            .counters
+            .iter()
+            .any(|(name, v)| name.starts_with("comm.bytes.") && *v > 0),
+        "traced run recorded no comm volume"
+    );
+
+    assert_eq!(
+        bits2(&scores_off),
+        bits2(&scores_on),
+        "VIP partition scores changed when tracing was enabled"
+    );
+    let off: Vec<u64> = losses_off.iter().map(|l| l.to_bits()).collect();
+    let on: Vec<u64> = losses_on.iter().map(|l| l.to_bits()).collect();
+    assert_eq!(off, on, "trainer losses changed when tracing was enabled");
+}

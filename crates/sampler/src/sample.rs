@@ -3,6 +3,26 @@
 use crate::{Fanouts, HopAdj, Mfg, VertexIndexer};
 use rand::Rng;
 use spp_graph::{CsrGraph, VertexId};
+use spp_telemetry::metrics::{self, Counter};
+use std::sync::OnceLock;
+
+/// Cached telemetry counters for minibatch expansion (no-ops while
+/// telemetry is disabled; never read back, so sampling stays
+/// bit-deterministic with tracing on or off).
+struct SamplerMetrics {
+    batches: Counter,
+    nodes: Counter,
+    edges: Counter,
+}
+
+fn sampler_metrics() -> &'static SamplerMetrics {
+    static METRICS: OnceLock<SamplerMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| SamplerMetrics {
+        batches: metrics::counter("sampler.batches"),
+        nodes: metrics::counter("sampler.mfg_nodes"),
+        edges: metrics::counter("sampler.mfg_edges"),
+    })
+}
 
 /// Samples L-hop neighborhoods with per-hop fanouts, uniformly without
 /// replacement, exactly matching the random process analyzed by the
@@ -84,11 +104,18 @@ impl<'g> NodeWiseSampler<'g> {
             sizes.push(num_sources);
         }
 
-        Mfg {
+        let mfg = Mfg {
             nodes: indexer.into_nodes(),
             sizes,
             hops,
+        };
+        if metrics::enabled() {
+            let m = sampler_metrics();
+            m.batches.inc();
+            m.nodes.add(mfg.num_nodes() as u64);
+            m.edges.add(mfg.num_edges() as u64);
         }
+        mfg
     }
 }
 

@@ -1,12 +1,11 @@
 //! `cargo xtask` — workspace maintenance commands.
 //!
-//! Currently one subcommand:
-//!
 //! ```text
 //! cargo xtask lint [--json] [--root <dir>]
+//! cargo xtask validate-trace <file> [--stages]
 //! ```
 //!
-//! runs the SALIENT++ invariant linter (rules L1–L5, see
+//! `lint` runs the SALIENT++ invariant linter (rules L1–L6, see
 //! [`rules`] and DESIGN.md § "Correctness gates") over every library
 //! source in the workspace and exits nonzero on findings.
 //!
@@ -15,6 +14,12 @@
 //! under `shims/` (they emulate external-crate APIs, panics included),
 //! and this xtask itself. Tests, benches, and examples are exempt by
 //! construction — the invariants gate *library* hot paths.
+//!
+//! `validate-trace` checks a telemetry trace emitted under `SPP_TRACE=1`
+//! — Chrome `trace_event` JSON (`trace_*.json`) or the JSONL event
+//! stream (`trace_*.jsonl`) — against the exporter schema; `--stages`
+//! additionally requires a span for every Appendix-D pipeline stage
+//! (the CI telemetry smoke job passes it).
 
 // Test modules assert by panicking; the workspace panic-family denies
 // (see [workspace.lints] in Cargo.toml) apply to library code only.
@@ -28,6 +33,7 @@
     )
 )]
 
+mod json;
 mod report;
 mod rules;
 mod scan;
@@ -39,7 +45,10 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\
          commands:\n\
-           lint [--json] [--root <dir>]   run the workspace invariant linter"
+           lint [--json] [--root <dir>]        run the workspace invariant linter\n\
+           validate-trace <file> [--stages]    check an SPP_TRACE output file against\n\
+                                               the exporter schema (--stages: require\n\
+                                               every Appendix-D pipeline stage)"
     );
     ExitCode::from(2)
 }
@@ -137,6 +146,131 @@ fn run_lint(json: bool, root: Option<PathBuf>) -> ExitCode {
     }
 }
 
+/// Validates one Chrome `trace_event` document. Returns the set of
+/// complete-event ("X") names seen.
+fn check_chrome_trace(doc: &json::Json) -> Result<Vec<String>, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .ok_or("top-level object must have a `traceEvents` array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty — was the recorder enabled?".to_string());
+    }
+    let mut names = Vec::new();
+    for (i, e) in events.iter().enumerate() {
+        let ph = e
+            .get("ph")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string `ph`"))?;
+        let name = e
+            .get("name")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing string `name`"))?;
+        e.get("pid")
+            .and_then(json::Json::as_num)
+            .ok_or_else(|| format!("event {i} ({name}): missing numeric `pid`"))?;
+        match ph {
+            "X" => {
+                // Metadata events (process_name) may omit `tid`; real
+                // spans must carry one.
+                for key in ["tid", "ts", "dur"] {
+                    let v = e
+                        .get(key)
+                        .and_then(json::Json::as_num)
+                        .ok_or_else(|| format!("event {i} ({name}): missing numeric `{key}`"))?;
+                    if v < 0.0 {
+                        return Err(format!("event {i} ({name}): negative `{key}`"));
+                    }
+                }
+                names.push(name.to_string());
+            }
+            "M" => {}
+            other => return Err(format!("event {i} ({name}): unknown phase `{other}`")),
+        }
+    }
+    Ok(names)
+}
+
+/// Validates a JSONL event stream (one object per line). Returns the
+/// event names seen.
+fn check_jsonl_trace(src: &str) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let name = v
+            .get("name")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| format!("line {}: missing string `name`", lineno + 1))?;
+        for key in ["tid", "start_ns", "dur_ns", "depth"] {
+            v.get(key)
+                .and_then(json::Json::as_num)
+                .ok_or_else(|| format!("line {}: missing numeric `{key}`", lineno + 1))?;
+        }
+        if v.get("sim").is_none() {
+            return Err(format!("line {}: missing `sim` flag", lineno + 1));
+        }
+        names.push(name.to_string());
+    }
+    if names.is_empty() {
+        return Err("no events — was the recorder enabled?".to_string());
+    }
+    Ok(names)
+}
+
+fn run_validate_trace(path: &Path, require_stages: bool) -> ExitCode {
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("validate-trace: reading {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let names = if jsonl {
+        check_jsonl_trace(&src)
+    } else {
+        json::parse(&src)
+            .map_err(|e| format!("not valid JSON: {e}"))
+            .and_then(|doc| check_chrome_trace(&doc))
+    };
+    let names = match names {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("validate-trace: {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if require_stages {
+        let missing: Vec<&str> = spp_telemetry::stage::PipelineStage::ALL
+            .iter()
+            .map(|s| s.short())
+            .filter(|s| !names.iter().any(|n| n == s))
+            .collect();
+        if !missing.is_empty() {
+            eprintln!(
+                "validate-trace: {}: missing pipeline stage spans: {}",
+                path.display(),
+                missing.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    println!(
+        "validate-trace: {}: ok ({} events{})",
+        path.display(),
+        names.len(),
+        if require_stages {
+            ", all pipeline stages present"
+        } else {
+            ""
+        }
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -158,6 +292,19 @@ fn main() -> ExitCode {
                 }
             }
             run_lint(json, root)
+        }
+        "validate-trace" => {
+            let mut file = None;
+            let mut stages = false;
+            for a in args.iter().skip(1) {
+                match a.as_str() {
+                    "--stages" => stages = true,
+                    _ if file.is_none() && !a.starts_with('-') => file = Some(PathBuf::from(a)),
+                    _ => return usage(),
+                }
+            }
+            let Some(file) = file else { return usage() };
+            run_validate_trace(&file, stages)
         }
         _ => usage(),
     }

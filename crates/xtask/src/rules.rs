@@ -18,6 +18,10 @@
 //! |                 | `WorkerPool`, pipeline stages use bounded queues               |
 //! | `l5-prob-clamp` | VIP modules route every computed probability store through     |
 //! |                 | `clamp01` (Proposition 1: `p ∈ [0, 1]`)                        |
+//! | `l6-raw-instant`| no raw `Instant::now()` outside the telemetry clock            |
+//! |                 | (`spp-telemetry`), `spp-bench`, and the DES virtual clock —    |
+//! |                 | one clock per process keeps span timestamps on a shared        |
+//! |                 | monotonic axis (DESIGN.md §10)                                 |
 //!
 //! Suppress a finding with
 //! `// spp-lint: allow(<rule>): <justification>` (trailing or on the
@@ -40,12 +44,13 @@ pub struct Finding {
 }
 
 /// All rule ids, for pragma validation and `--json` counts.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 6] = [
     "l1-no-panic",
     "l2-csr-index",
     "l3-unordered-iter",
     "l4-unbounded",
     "l5-prob-clamp",
+    "l6-raw-instant",
 ];
 
 /// True when `s[idx]` is preceded by an identifier character (so `idx`
@@ -425,6 +430,44 @@ fn is_simple_expr(rhs: &str) -> bool {
             .all(|c| c.is_alphanumeric() || matches!(c, '_' | '.' | ':'))
 }
 
+fn applies_l6(path: &str) -> bool {
+    // Sanctioned wall-clock homes: the telemetry crate (whose
+    // `clock_ns()` is the process-wide monotonic anchor), the bench
+    // harness (measures wall time by trade), and the DES — its clock is
+    // *virtual*, but its tests compare against wall time.
+    !(path.starts_with("crates/telemetry/src")
+        || path.starts_with("crates/bench/")
+        || path == "crates/comm/src/des.rs")
+}
+
+/// L6: no raw `Instant::now()` outside the sanctioned clock sites.
+///
+/// Library code that wants wall-clock timestamps must go through
+/// `spp_telemetry::clock_ns()` (or a span/histogram timer built on it)
+/// so every recorded time shares one monotonic anchor and the disabled
+/// path stays free.
+fn check_l6(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l6-raw-instant") {
+            continue;
+        }
+        let t = &line.cleaned;
+        for p in token_positions(t, "Instant::now") {
+            if t[p + "Instant::now".len()..].starts_with('(') {
+                findings.push(Finding {
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "l6-raw-instant".to_string(),
+                    message: "raw Instant::now(); use spp_telemetry::clock_ns() \
+                              (one monotonic clock per process, free when \
+                              telemetry is disabled) or a span/histogram timer"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
 /// Runs every applicable rule over `file`, including malformed-pragma
 /// diagnostics.
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
@@ -452,6 +495,9 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     }
     if applies_l5(path) {
         check_l5(file, &mut findings);
+    }
+    if applies_l6(path) {
+        check_l6(file, &mut findings);
     }
     findings.sort();
     findings
@@ -609,6 +655,30 @@ mod tests {
     fn l5_not_applied_outside_vip_files() {
         let src = "fn f(c: &mut [f64], u: usize, lm: f64) { c[u] = 1.0 - lm.exp(); }";
         assert!(lint("crates/core/src/cache.rs", src).is_empty());
+    }
+
+    // ---- L6 ----
+
+    #[test]
+    fn l6_flags_raw_instant_in_library_code() {
+        let src = "fn f() {\n  let t0 = std::time::Instant::now();\n  let t1 = Instant::now();\n}";
+        let f = lint("crates/core/src/vip.rs", src);
+        assert_eq!(rules_of(&f), vec!["l6-raw-instant"; 2], "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l6_allows_sanctioned_clock_homes() {
+        let src = "fn f() { let t0 = std::time::Instant::now(); }";
+        assert!(lint("crates/telemetry/src/span.rs", src).is_empty());
+        assert!(lint("crates/bench/src/report.rs", src).is_empty());
+        assert!(lint("crates/comm/src/des.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l6_ignores_type_mentions_and_pragma() {
+        let src = "use std::time::Instant;\nfn f(anchor: Instant) {\n  let t = Instant::now(); // spp-lint: allow(l6-raw-instant): calibration loop predates the telemetry anchor\n}";
+        assert!(lint("crates/core/src/vip.rs", src).is_empty());
     }
 
     // ---- engine ----

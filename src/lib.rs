@@ -22,6 +22,7 @@
 //! | [`gnn`] | `spp-gnn` | GraphSAGE/GIN/GAT + training |
 //! | [`core`] | `spp-core` | VIP analysis, caching, reordering |
 //! | [`comm`] | `spp-comm` | DES engine, network models, all-to-all |
+//! | [`telemetry`] | `spp-telemetry` | metrics, spans, trace exporters |
 //! | [`runtime`] | `spp-runtime` | distributed setup/engine/simulation |
 //!
 //! # Quickstart
@@ -66,6 +67,7 @@ pub use spp_graph as graph;
 pub use spp_partition as partition;
 pub use spp_runtime as runtime;
 pub use spp_sampler as sampler;
+pub use spp_telemetry as telemetry;
 pub use spp_tensor as tensor;
 
 /// The most commonly used types, for glob import.

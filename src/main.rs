@@ -158,11 +158,11 @@ fn cmd_partition(flags: &Flags) {
     let k: usize = flags.num("k", 8);
     let seed: u64 = flags.num("seed", 0);
     let w = VertexWeights::from_dataset(&ds);
-    let start = std::time::Instant::now();
+    let t0 = salientpp::telemetry::clock_ns();
     let part = MultilevelPartitioner::new(k)
         .seed(seed)
         .partition(&ds.graph, &w);
-    let dt = start.elapsed();
+    let dt = std::time::Duration::from_nanos(salientpp::telemetry::clock_ns().saturating_sub(t0));
     let imb = spp_partition::metrics::imbalance(&part, &w);
     println!(
         "{k}-way multilevel partition in {dt:.2?}: edge cut {:.2}%, sizes {:?}",
@@ -313,6 +313,9 @@ fn cmd_simulate(flags: &Flags) {
 }
 
 fn main() -> ExitCode {
+    // SPP_TRACE=1 turns on the telemetry recorder for the whole run;
+    // traces land in results/trace_<command>.{json,jsonl}.
+    let traced = salientpp::telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else { usage() };
     let flags = Flags::parse(&args[1..]);
@@ -324,6 +327,17 @@ fn main() -> ExitCode {
         "train" => cmd_train(&flags),
         "simulate" => cmd_simulate(&flags),
         _ => usage(),
+    }
+    if traced {
+        print!("{}", salientpp::telemetry::summary());
+        match salientpp::telemetry::write_trace_files(std::path::Path::new("results"), cmd) {
+            Ok(paths) => {
+                for p in paths {
+                    println!("trace written: {}", p.display());
+                }
+            }
+            Err(e) => eprintln!("cannot write trace files: {e}"),
+        }
     }
     ExitCode::SUCCESS
 }
