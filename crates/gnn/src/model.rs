@@ -424,6 +424,20 @@ impl GnnModel {
         }
     }
 
+    /// Inference forward pass over a sampled MFG: evaluation mode (no
+    /// dropout), so no RNG stream is consumed and the logits are a pure
+    /// function of `(x, mfg, parameters)` — the entry point the online
+    /// serving subsystem uses per micro-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same shape mismatches as [`GnnModel::forward`].
+    pub fn infer(&self, x: Matrix, mfg: &Mfg) -> Matrix {
+        let mut rng = StdRng::seed_from_u64(0); // eval mode: rng unused
+        let fwd = self.forward(x, mfg, false, &mut rng);
+        fwd.logits_value().clone()
+    }
+
     /// Full-batch (no-sampling) forward pass over an entire graph:
     /// layer-by-layer propagation using every vertex's *full* neighbor
     /// list, the alternative inference mode the paper contrasts with
@@ -525,6 +539,18 @@ mod tests {
         let fwd = model.forward(x, &mfg, false, &mut rng);
         assert_eq!(fwd.logits_value().shape(), (4, 3));
         assert_eq!(fwd.param_nodes.len(), 8);
+    }
+
+    #[test]
+    fn infer_matches_eval_forward() {
+        let (model, mfg, x) = setup(Arch::Sage);
+        let mut rng = StdRng::seed_from_u64(11);
+        let fwd = model.forward(x.clone(), &mfg, false, &mut rng);
+        let logits = model.infer(x.clone(), &mfg);
+        assert_eq!(&logits, fwd.logits_value());
+        // Dropout must not leak into inference even when configured.
+        let dropped = GnnModel::new(Arch::Sage, &[6, 8, 3], 2).with_dropout(0.5);
+        assert_eq!(dropped.infer(x.clone(), &mfg), dropped.infer(x, &mfg));
     }
 
     #[test]

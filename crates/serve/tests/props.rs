@@ -1,0 +1,259 @@
+//! Property and integration tests for the serving subsystem: two-tier
+//! invariants, exact counter accounting under concurrency, and the
+//! worker-count determinism contract (DESIGN.md §11).
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use proptest::prelude::*;
+use spp_core::StaticCache;
+use spp_gnn::{Arch, GnnModel};
+use spp_graph::dataset::SyntheticSpec;
+use spp_graph::{Dataset, VertexId};
+use spp_pool::WorkerPool;
+use spp_runtime::{DistributedSetup, SetupConfig};
+use spp_sampler::Fanouts;
+use spp_serve::{
+    generate_open_loop, DynamicOverlay, InferenceServer, InsertOutcome, RejectReason, ServeConfig,
+    ServeReport, TraceConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The serving discipline checks the static tier before the overlay
+    /// and only admits vertices that missed it. Under that discipline —
+    /// for any static membership, overlay capacity, and access trace —
+    /// the overlay never contains (and therefore never evicts) a pinned
+    /// static entry, and its occupancy respects capacity.
+    #[test]
+    fn overlay_stays_disjoint_from_static_tier(
+        num_static in 1usize..40,
+        capacity in 0usize..24,
+        trace in proptest::collection::vec(0u32..120, 1..300),
+    ) {
+        let members: Vec<VertexId> = (0..num_static as u32).map(|i| i * 3).collect();
+        let cache = StaticCache::from_members(&members).with_dense_index(512);
+        let mut overlay = DynamicOverlay::new(capacity, 4);
+        for &v in &trace {
+            if cache.contains(v) {
+                continue; // static tier answers first; overlay untouched
+            }
+            if overlay.probe(v).is_some() {
+                overlay.touch(v);
+            } else {
+                let out = overlay.insert(v, &[v as f32; 4]);
+                if let InsertOutcome::Evicted(old) = out {
+                    prop_assert!(!cache.contains(old));
+                }
+            }
+            prop_assert!(overlay.len() <= capacity);
+        }
+        for v in overlay.members_mru_order() {
+            prop_assert!(!cache.contains(v));
+        }
+        let c = overlay.counters();
+        prop_assert_eq!(c.hits + c.misses, c.lookups());
+    }
+
+    /// Replaying the same operation sequence twice yields the same
+    /// eviction sequence and the same final recency order: eviction is a
+    /// pure function of the trace.
+    #[test]
+    fn eviction_order_is_deterministic(
+        capacity in 1usize..16,
+        trace in proptest::collection::vec(0u32..64, 1..200),
+    ) {
+        let run = || {
+            let mut overlay = DynamicOverlay::new(capacity, 2);
+            let mut evicted = Vec::new();
+            for &v in &trace {
+                match overlay.insert(v, &[v as f32, -(v as f32)]) {
+                    InsertOutcome::Evicted(old) => evicted.push(old),
+                    InsertOutcome::Refreshed | InsertOutcome::Inserted => {}
+                    InsertOutcome::Disabled => unreachable!("capacity >= 1"),
+                }
+            }
+            (evicted, overlay.members_mru_order())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+/// `hits + misses == lookups` holds *exactly* when probes run
+/// concurrently on the worker pool: every probe increments exactly one
+/// relaxed counter, so no interleaving can lose a count.
+#[test]
+fn probe_counters_exact_under_concurrent_pool_access() {
+    let mut overlay = DynamicOverlay::new(64, 2);
+    for v in 0..64u32 {
+        overlay.insert(v, &[v as f32, 0.0]);
+    }
+    let pool = WorkerPool::new(8);
+    let jobs = 16usize;
+    let probes_per_job = 1000usize;
+    let hits: u64 = pool
+        .run_jobs(jobs, |j| {
+            let mut h = 0u64;
+            for i in 0..probes_per_job {
+                // Half the probed ids are present (0..64), half absent.
+                let v = ((j * probes_per_job + i) % 128) as u32;
+                if overlay.probe(v).is_some() {
+                    h += 1;
+                }
+            }
+            h
+        })
+        .iter()
+        .sum();
+    let c = overlay.counters();
+    assert_eq!(c.lookups(), (jobs * probes_per_job) as u64);
+    assert_eq!(c.hits, hits);
+    assert_eq!(c.hits + c.misses, c.lookups());
+}
+
+fn fixture() -> (Dataset, GnnModel) {
+    let ds = SyntheticSpec::new("serve-test", 400, 8.0, 8, 4)
+        .split_fractions(0.3, 0.1, 0.1)
+        .seed(11)
+        .build();
+    let model = GnnModel::new(Arch::Sage, &[8, 16, 4], 5);
+    (ds, model)
+}
+
+fn deployment(ds: &Dataset) -> DistributedSetup {
+    DistributedSetup::build(
+        ds,
+        SetupConfig {
+            num_machines: 2,
+            fanouts: Fanouts::new(vec![4, 3]),
+            alpha: 0.1,
+            ..SetupConfig::default()
+        },
+    )
+}
+
+fn serve_with_pool(setup: &DistributedSetup, model: &GnnModel, workers: usize) -> ServeReport {
+    let cfg = ServeConfig {
+        max_batch_size: 8,
+        max_delay: 0.01,
+        queue_capacity: 64,
+        overlay_capacity: 24,
+        fanouts: Fanouts::new(vec![4, 3]),
+        seed: 3,
+        pool: WorkerPool::new(workers),
+        ..ServeConfig::default()
+    };
+    let trace = generate_open_loop(&TraceConfig {
+        num_requests: 300,
+        num_vertices: 400,
+        arrival_rate: 2000.0,
+        skew: 3.0,
+        burstiness: 0.3,
+        seed: 17,
+    });
+    InferenceServer::new(setup, model, 0, cfg).run(&trace)
+}
+
+/// The §11 determinism contract: completions (latencies, labels, logits
+/// checksums), batch records, and cache accounting are identical at 1,
+/// 2, and 8 workers.
+#[test]
+fn serving_is_bit_identical_across_worker_counts() {
+    let (ds, model) = fixture();
+    let setup = deployment(&ds);
+    let one = serve_with_pool(&setup, &model, 1);
+    let two = serve_with_pool(&setup, &model, 2);
+    let eight = serve_with_pool(&setup, &model, 8);
+    assert!(!one.completions.is_empty());
+    assert_eq!(one.completions, two.completions);
+    assert_eq!(one.completions, eight.completions);
+    assert_eq!(one.batches, two.batches);
+    assert_eq!(one.batches, eight.batches);
+    assert_eq!(one.cache, two.cache);
+    assert_eq!(one.cache, eight.cache);
+    assert_eq!(one.rejections, eight.rejections);
+    // Tier accounting partitions lookups.
+    let c = one.cache;
+    assert_eq!(c.static_hits + c.overlay_hits + c.misses, c.lookups);
+    assert!(c.overlay_hits > 0, "skewed trace must warm the overlay");
+}
+
+/// Backpressure: with a tight queue bound every request still gets an
+/// explicit outcome — completed or rejected with `queue_full` — and the
+/// admitted backlog never silently grows.
+#[test]
+fn overload_rejects_with_reason_and_loses_nothing() {
+    let (ds, model) = fixture();
+    let setup = deployment(&ds);
+    let cfg = ServeConfig {
+        max_batch_size: 4,
+        max_delay: 0.005,
+        queue_capacity: 8,
+        overlay_capacity: 8,
+        fanouts: Fanouts::new(vec![4, 3]),
+        seed: 1,
+        pool: WorkerPool::new(2),
+        ..ServeConfig::default()
+    };
+    // Arrival rate far above service capacity forces queue_full.
+    let trace = generate_open_loop(&TraceConfig {
+        num_requests: 400,
+        num_vertices: 400,
+        arrival_rate: 100_000.0,
+        skew: 2.0,
+        burstiness: 0.0,
+        seed: 9,
+    });
+    let report = InferenceServer::new(&setup, &model, 0, cfg).run(&trace);
+    assert_eq!(report.total_requests(), 400);
+    assert!(!report.rejections.is_empty(), "overload must shed load");
+    for r in &report.rejections {
+        assert_eq!(r.reason, RejectReason::QueueFull);
+    }
+    // Every batch respects the size bound.
+    assert!(report.batches.iter().all(|b| b.size <= 4 && b.size > 0));
+    let carried: usize = report.batches.iter().map(|b| b.size).sum();
+    assert_eq!(carried, report.completions.len());
+}
+
+/// Closed-loop driving: all issued requests resolve, load adapts to
+/// capacity (no rejections when clients fit the queue bound), and the
+/// run is deterministic across worker counts.
+#[test]
+fn closed_loop_resolves_every_request_deterministically() {
+    let (ds, model) = fixture();
+    let setup = deployment(&ds);
+    let run = |workers: usize| {
+        let cfg = ServeConfig {
+            max_batch_size: 8,
+            max_delay: 0.002,
+            queue_capacity: 64,
+            overlay_capacity: 16,
+            fanouts: Fanouts::new(vec![4, 3]),
+            seed: 2,
+            pool: WorkerPool::new(workers),
+            ..ServeConfig::default()
+        };
+        InferenceServer::new(&setup, &model, 0, cfg).run_closed_loop(&spp_serve::ClosedLoopConfig {
+            clients: 6,
+            think_time: 0.001,
+            total_requests: 200,
+            skew: 2.5,
+            seed: 21,
+        })
+    };
+    let a = run(1);
+    let b = run(4);
+    assert_eq!(a.total_requests(), 200);
+    assert!(a.rejections.is_empty(), "6 clients fit a 64-deep queue");
+    assert_eq!(a.completions, b.completions);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.cache, b.cache);
+}

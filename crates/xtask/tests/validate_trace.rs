@@ -1,0 +1,102 @@
+//! End-to-end tests for `cargo xtask validate-trace`, driven through
+//! the compiled binary against checked-in fixtures (no dependence on
+//! bench-emitted artifacts, which are gitignored).
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spp-xtask"))
+        .args(args)
+        .output()
+        .expect("spawn spp-xtask")
+}
+
+fn validate(file: &str, stages: bool) -> Output {
+    let path = fixture(file);
+    let path = path.to_str().unwrap();
+    let mut args = vec!["validate-trace", path];
+    if stages {
+        args.push("--stages");
+    }
+    run(&args)
+}
+
+#[test]
+fn valid_chrome_trace_passes_with_all_stages() {
+    let out = validate("trace_valid.json", true);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(stdout.contains("ok"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("all pipeline stages present"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn valid_jsonl_stream_passes() {
+    let out = validate("trace_valid.jsonl", false);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 events"));
+}
+
+#[test]
+fn missing_stage_span_fails_only_under_stages_flag() {
+    let lenient = validate("trace_missing_stage.json", false);
+    assert!(
+        lenient.status.success(),
+        "schema-valid trace must pass without --stages"
+    );
+    let strict = validate("trace_missing_stage.json", true);
+    assert!(!strict.status.success());
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(
+        stderr.contains("missing pipeline stage spans"),
+        "stderr: {stderr}"
+    );
+    // The three present stages are not reported missing.
+    for present in ["sample", "slice", "train"] {
+        assert!(
+            !stderr
+                .split("missing pipeline stage spans:")
+                .nth(1)
+                .unwrap()
+                .split(", ")
+                .any(|s| s.trim() == present),
+            "{present} wrongly reported missing: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn schema_violation_is_rejected() {
+    let out = validate("trace_invalid.json", false);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing numeric `dur`"), "stderr: {stderr}");
+}
+
+#[test]
+fn unreadable_file_exits_with_usage_error() {
+    let out = validate("no_such_trace.json", false);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -24,6 +24,7 @@
 //! | [`comm`] | `spp-comm` | DES engine, network models, all-to-all |
 //! | [`telemetry`] | `spp-telemetry` | metrics, spans, trace exporters |
 //! | [`runtime`] | `spp-runtime` | distributed setup/engine/simulation |
+//! | [`serve`] | `spp-serve` | online inference serving: micro-batching, two-tier cache |
 //!
 //! # Quickstart
 //!
@@ -67,6 +68,7 @@ pub use spp_graph as graph;
 pub use spp_partition as partition;
 pub use spp_runtime as runtime;
 pub use spp_sampler as sampler;
+pub use spp_serve as serve;
 pub use spp_telemetry as telemetry;
 pub use spp_tensor as tensor;
 
@@ -87,5 +89,6 @@ pub mod prelude {
         SetupConfig, SystemSpec,
     };
     pub use spp_sampler::{Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
+    pub use spp_serve::{InferenceServer, ServeConfig, ServeReport};
     pub use spp_tensor::{Adam, Matrix, Optimizer, Tape};
 }
