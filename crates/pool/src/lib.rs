@@ -60,6 +60,7 @@
     )
 )]
 
+use spp_sync::Mutex;
 use spp_telemetry::metrics::{self, Counter, Gauge, Histogram};
 use std::ops::Range;
 use std::sync::OnceLock;
@@ -208,11 +209,16 @@ impl WorkerPool {
         if let Some(m) = tm {
             m.threads_forked.add(threads as u64);
         }
-        let mut tagged: Vec<(usize, R)> = Vec::with_capacity(num_jobs);
+        // Workers publish tagged parts into a shared merge queue; the
+        // queue is mutex-ordered (spp-sync instrumented — the pool-queue
+        // model-check harness explores this handoff) and the final sort
+        // restores job-index order regardless of completion order.
+        let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_jobs));
         let run = &run;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
+                    let merged = &merged;
                     s.spawn(move || {
                         let mut part = Vec::new();
                         let mut i = w;
@@ -220,18 +226,18 @@ impl WorkerPool {
                             part.push((i, run(i)));
                             i += threads;
                         }
-                        part
+                        merged.lock().extend(part);
                     })
                 })
                 .collect();
             for h in handles {
-                let part = h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
-                tagged.extend(part);
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
             }
         });
         if let Some(m) = tm {
             m.merges.inc();
         }
+        let mut tagged = merged.into_inner();
         tagged.sort_by_key(|&(i, _)| i);
         tagged.into_iter().map(|(_, r)| r).collect()
     }

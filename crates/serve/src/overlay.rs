@@ -16,8 +16,8 @@
 //! therefore a pure function of the operation sequence, never of timing.
 
 use spp_graph::{FeatureMatrix, VertexId};
+use spp_sync::AtomicU64;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Linked-list sentinel ("no slot").
 const NONE: u32 = u32::MAX;
@@ -122,11 +122,11 @@ impl DynamicOverlay {
     pub fn probe(&self, v: VertexId) -> Option<u32> {
         match self.slot_of.get(&v) {
             Some(&s) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.fetch_add_relaxed(1); // spp-sync: relaxed(exactness comes from the RMW; readers need no ordering with cache state)
                 Some(s)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.fetch_add_relaxed(1); // spp-sync: relaxed(exactness comes from the RMW; readers need no ordering with cache state)
                 None
             }
         }
@@ -196,8 +196,8 @@ impl DynamicOverlay {
     /// Counter snapshot.
     pub fn counters(&self) -> OverlayCounters {
         OverlayCounters {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.load_relaxed(), // spp-sync: relaxed(statistical snapshot; tallies are monotonic)
+            misses: self.misses.load_relaxed(), // spp-sync: relaxed(statistical snapshot; tallies are monotonic)
             evictions: self.evictions,
             insertions: self.insertions,
         }

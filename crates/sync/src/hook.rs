@@ -1,0 +1,110 @@
+//! Instrumentation points for the concurrency model checker.
+//!
+//! This module is compiled in every build so that `spp-check` (which
+//! depends on this crate) can install its scheduler without a dependency
+//! cycle. The wrapper types in the crate root only *call* these hooks
+//! under `cfg(spp_model_check)`; in normal builds nothing here is on any
+//! hot path.
+//!
+//! Protocol: a hook returning `None` / `false` means "not handled" — the
+//! calling wrapper falls through to the real `std::sync` operation. The
+//! model checker returns handled results only for threads it spawned and
+//! registered; every other thread (including the checker's own driver
+//! thread) passes through untouched.
+
+use std::sync::atomic::AtomicU64 as RawAtomicU64;
+use std::sync::OnceLock;
+
+/// Memory ordering declared at an instrumented call site. Only the
+/// orderings the wrapper API can express — the named-method API
+/// (`load_acquire`, `store_release`, ...) makes stronger orderings a
+/// deliberate, lintable choice rather than a default.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MemOrd {
+    /// No inter-thread visibility guarantee beyond the cell itself.
+    Relaxed,
+    /// Load half of a release/acquire pair.
+    Acquire,
+    /// Store half of a release/acquire pair.
+    Release,
+}
+
+/// One atomic operation, as announced to the scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomicOp {
+    /// Read; the checker may return a stale-but-permitted value in
+    /// weak-memory mode.
+    Load {
+        /// Declared ordering of the load.
+        ord: MemOrd,
+    },
+    /// Write of `val`.
+    Store {
+        /// Declared ordering of the store.
+        ord: MemOrd,
+        /// Value written.
+        val: u64,
+    },
+    /// Relaxed read-modify-write add; returns the previous value.
+    FetchAdd {
+        /// Addend.
+        val: u64,
+    },
+    /// Relaxed read-modify-write max; returns the previous value.
+    FetchMax {
+        /// Candidate maximum.
+        val: u64,
+    },
+}
+
+impl AtomicOp {
+    /// True for pure reads (two loads never conflict for DPOR purposes).
+    pub fn is_load(self) -> bool {
+        matches!(self, AtomicOp::Load { .. })
+    }
+}
+
+/// The scheduler interface `spp-check` implements. All methods follow
+/// the handled/passthrough protocol described at module level.
+pub trait ModelHooks: Sync {
+    /// Intercept an atomic operation on `cell` (identified by address).
+    /// `Some(v)` is the operation's result under the model; `None`
+    /// means the caller performs the real operation itself.
+    fn atomic(&self, cell: &RawAtomicU64, op: AtomicOp) -> Option<u64>;
+
+    /// A model thread is about to take the mutex at `loc`. Blocks until
+    /// the scheduler grants the acquisition; the caller then takes the
+    /// (uncontended) real lock.
+    fn mutex_lock(&self, loc: usize) -> bool;
+
+    /// A model thread is releasing the mutex at `loc` (called *before*
+    /// the real unlock).
+    fn mutex_unlock(&self, loc: usize) -> bool;
+
+    /// First half of `Condvar::wait`: atomically release the model
+    /// mutex and register as a waiter on `cv`. The caller drops the
+    /// real guard after this returns `true`.
+    fn condvar_wait_release(&self, cv: usize, mutex: usize) -> bool;
+
+    /// Second half of `Condvar::wait`: block until notified *and*
+    /// granted the mutex re-acquisition. The caller retakes the real
+    /// lock after this returns.
+    fn condvar_wait_reacquire(&self, cv: usize, mutex: usize);
+
+    /// `notify_one` / `notify_all` on the condvar at `cv`.
+    fn condvar_notify(&self, cv: usize, all: bool) -> bool;
+}
+
+static HOOKS: OnceLock<&'static dyn ModelHooks> = OnceLock::new();
+
+/// Installs the model-checker hooks, once per process. Returns `false`
+/// if hooks were already installed.
+pub fn install(hooks: &'static dyn ModelHooks) -> bool {
+    HOOKS.set(hooks).is_ok()
+}
+
+/// The installed hooks, if any. One `OnceLock` read.
+#[inline]
+pub fn installed() -> Option<&'static dyn ModelHooks> {
+    HOOKS.get().copied()
+}

@@ -15,8 +15,7 @@
 //! dead no-op handles instead of failing — telemetry must never take the
 //! computation down (lint L1).
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use spp_sync::{AtomicBool, AtomicU64, Mutex};
 use std::sync::{Arc, OnceLock};
 
 /// Maximum distinct counters (comm byte matrices need k² of them).
@@ -34,18 +33,29 @@ const DEAD: usize = usize::MAX;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Handles returned after a name-table overflow (observable via
+/// [`dropped_handles`] and the `telemetry.dropped_handles` synthetic
+/// counter in [`snapshot`]), so silent degradation is at least visible.
+static DROPPED_HANDLES: AtomicU64 = AtomicU64::new(0);
+
 /// Whether telemetry recording is on. One relaxed load — this is the
 /// entire disabled-path cost of every recording call.
 #[inline(always)]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    ENABLED.load_relaxed() // spp-sync: relaxed(independent on/off flag; readers need no ordering with recorded data)
 }
 
 /// Turns recording on or off. [`crate::export::init_from_env`] calls
 /// this from the `SPP_TRACE` environment knob; tests may toggle it
 /// directly.
 pub fn set_enabled(on: bool) {
-    ENABLED.store(on, Ordering::Relaxed);
+    ENABLED.store_relaxed(on); // spp-sync: relaxed(independent on/off flag; publishes no other data)
+}
+
+/// How many metric registrations have returned dead handles because a
+/// name table was full.
+pub fn dropped_handles() -> u64 {
+    DROPPED_HANDLES.load_relaxed() // spp-sync: relaxed(monotonic tally; no ordering dependents)
 }
 
 /// One thread's slice of every metric, all relaxed atomics.
@@ -121,7 +131,18 @@ struct ShardHandle {
 impl ShardHandle {
     fn acquire() -> Self {
         let mut table = registry().shards.lock();
-        if let Some(index) = table.free.pop() {
+        // Reuse the *smallest* free index, not the most recently freed:
+        // shard assignment becomes a pure function of acquire/release
+        // order, which the model checker needs for decision replay (and
+        // it costs nothing — the free list is tiny).
+        let free_pos = table
+            .free
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &idx)| idx)
+            .map(|(pos, _)| pos);
+        if let Some(pos) = free_pos {
+            let index = table.free.swap_remove(pos);
             let shard = Arc::clone(&table.shards[index]);
             Self { shard, index }
         } else {
@@ -148,6 +169,7 @@ fn register(names: &mut Vec<String>, cap: usize, name: &str) -> usize {
         return i;
     }
     if names.len() >= cap {
+        DROPPED_HANDLES.fetch_add_relaxed(1); // spp-sync: relaxed(monotonic tally; no ordering dependents)
         return DEAD;
     }
     names.push(name.to_string());
@@ -173,7 +195,7 @@ impl Counter {
         }
         let i = self.0;
         // try_with: silently drop events arriving during TLS teardown.
-        let _ = SHARD.try_with(|s| s.shard.counters[i].fetch_add(v, Ordering::Relaxed));
+        let _ = SHARD.try_with(|s| s.shard.counters[i].fetch_add_relaxed(v)); // spp-sync: relaxed(per-thread shard; merges sum all shards, no cross-shard ordering)
     }
 
     /// Adds one.
@@ -191,7 +213,7 @@ impl Counter {
         table
             .shards
             .iter()
-            .map(|s| s.counters[self.0].load(Ordering::Relaxed))
+            .map(|s| s.counters[self.0].load_relaxed()) // spp-sync: relaxed(statistical merge; counts are monotonic, staleness only under-reports)
             .sum()
     }
 }
@@ -216,8 +238,8 @@ impl Gauge {
             return;
         }
         let slot = &registry().gauges[self.0];
-        slot.value.store(v, Ordering::Relaxed);
-        slot.max.fetch_max(v, Ordering::Relaxed);
+        slot.value.store_relaxed(v); // spp-sync: relaxed(point-in-time observation; last-writer-wins is the semantics)
+        slot.max.fetch_max_relaxed(v); // spp-sync: relaxed(monotonic high-water mark; RMW cannot lose updates)
     }
 }
 
@@ -249,10 +271,10 @@ impl Histogram {
         let b = bucket_of(v);
         let _ = SHARD.try_with(|s| {
             let sh = &s.shard;
-            sh.hist_counts[h * HISTOGRAM_BUCKETS + b].fetch_add(1, Ordering::Relaxed);
-            sh.hist_n[h].fetch_add(1, Ordering::Relaxed);
-            sh.hist_sum[h].fetch_add(v, Ordering::Relaxed);
-            sh.hist_max[h].fetch_max(v, Ordering::Relaxed);
+            sh.hist_counts[h * HISTOGRAM_BUCKETS + b].fetch_add_relaxed(1); // spp-sync: relaxed(per-thread shard; merge tolerates field skew)
+            sh.hist_n[h].fetch_add_relaxed(1); // spp-sync: relaxed(per-thread shard; merge tolerates field skew)
+            sh.hist_sum[h].fetch_add_relaxed(v); // spp-sync: relaxed(per-thread shard; merge tolerates field skew)
+            sh.hist_max[h].fetch_max_relaxed(v); // spp-sync: relaxed(monotonic high-water mark; RMW cannot lose updates)
         });
     }
 
@@ -390,12 +412,13 @@ pub struct MetricsSnapshot {
 
 fn merge_histogram(table: &ShardTable, h: usize, snap: &mut HistogramSnapshot) {
     for s in &table.shards {
-        for b in 0..HISTOGRAM_BUCKETS {
-            snap.buckets[b] += s.hist_counts[h * HISTOGRAM_BUCKETS + b].load(Ordering::Relaxed);
+        let counts = &s.hist_counts[h * HISTOGRAM_BUCKETS..(h + 1) * HISTOGRAM_BUCKETS];
+        for (bucket, c) in snap.buckets.iter_mut().zip(counts) {
+            *bucket += c.load_relaxed(); // spp-sync: relaxed(statistical merge)
         }
-        snap.count += s.hist_n[h].load(Ordering::Relaxed);
-        snap.sum += s.hist_sum[h].load(Ordering::Relaxed);
-        snap.max = snap.max.max(s.hist_max[h].load(Ordering::Relaxed));
+        snap.count += s.hist_n[h].load_relaxed(); // spp-sync: relaxed(statistical merge; staleness only under-reports)
+        snap.sum += s.hist_sum[h].load_relaxed(); // spp-sync: relaxed(statistical merge; staleness only under-reports)
+        snap.max = snap.max.max(s.hist_max[h].load_relaxed()); // spp-sync: relaxed(statistical merge; staleness only under-reports)
     }
 }
 
@@ -404,7 +427,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let reg = registry();
     let names = reg.names.lock();
     let table = reg.shards.lock();
-    let counters = names
+    let mut counters: Vec<(String, u64)> = names
         .counters
         .iter()
         .enumerate()
@@ -412,11 +435,17 @@ pub fn snapshot() -> MetricsSnapshot {
             let total: u64 = table
                 .shards
                 .iter()
-                .map(|s| s.counters[i].load(Ordering::Relaxed))
+                .map(|s| s.counters[i].load_relaxed()) // spp-sync: relaxed(statistical merge; staleness only under-reports)
                 .sum();
             (name.clone(), total)
         })
         .collect();
+    // Surface registration overflow in exports without consuming a
+    // (possibly exhausted) counter slot.
+    let dropped = dropped_handles();
+    if dropped > 0 {
+        counters.push(("telemetry.dropped_handles".to_string(), dropped));
+    }
     let gauges = names
         .gauges
         .iter()
@@ -426,8 +455,8 @@ pub fn snapshot() -> MetricsSnapshot {
             (
                 name.clone(),
                 GaugeValue {
-                    value: slot.value.load(Ordering::Relaxed),
-                    max: slot.max.load(Ordering::Relaxed),
+                    value: slot.value.load_relaxed(), // spp-sync: relaxed(point-in-time observation)
+                    max: slot.max.load_relaxed(), // spp-sync: relaxed(monotonic high-water mark)
                 },
             )
         })
@@ -452,7 +481,7 @@ pub fn snapshot() -> MetricsSnapshot {
 /// Serializes tests that toggle the global enabled flag or inspect the
 /// shard table — they would race under the parallel test runner.
 #[cfg(test)]
-pub(crate) fn test_lock() -> parking_lot::MutexGuard<'static, ()> {
+pub(crate) fn test_lock() -> spp_sync::MutexGuard<'static, ()> {
     static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
     LOCK.get_or_init(|| Mutex::new(())).lock()
 }
@@ -557,5 +586,25 @@ mod tests {
         let dead = Histogram::dead();
         dead.observe(5);
         assert_eq!(dead.snapshot().count, 0);
+    }
+
+    #[test]
+    fn overflow_is_counted_as_dropped_handles() {
+        let _g = test_lock();
+        // Exercise the mechanism against a local name table so the
+        // global registries stay usable for other tests.
+        let mut names = vec!["a".to_string(), "b".to_string()];
+        let before = dropped_handles();
+        assert_eq!(register(&mut names, 2, "a"), 0); // dedup: no drop
+        assert_eq!(register(&mut names, 2, "c"), DEAD);
+        assert_eq!(register(&mut names, 2, "d"), DEAD);
+        assert!(dropped_handles() >= before + 2);
+        // Snapshots surface the tally as a synthetic counter.
+        let snap = snapshot();
+        let entry = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "telemetry.dropped_handles");
+        assert!(entry.is_some_and(|(_, v)| *v >= 2), "{:?}", snap.counters);
     }
 }

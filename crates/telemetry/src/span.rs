@@ -19,11 +19,10 @@
 //! never mixed on one timeline.
 
 use crate::metrics::{enabled, histogram, Histogram};
-use parking_lot::Mutex;
+use spp_sync::{AtomicU64, Mutex};
 use std::borrow::Cow;
 use std::cell::Cell;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
 
@@ -100,7 +99,7 @@ fn push(ev: Event) {
 static NEXT_TID: AtomicU64 = AtomicU64::new(1);
 
 fn register_tid() -> u64 {
-    let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    let tid = NEXT_TID.fetch_add_relaxed(1); // spp-sync: relaxed(unique-id allocation; RMW uniqueness needs no ordering)
     let name = std::thread::current()
         .name()
         .map(str::to_string)

@@ -22,6 +22,14 @@
 //! |                 | (`spp-telemetry`), `spp-bench`, and the DES virtual clock —    |
 //! |                 | one clock per process keeps span timestamps on a shared        |
 //! |                 | monotonic axis (DESIGN.md §10)                                 |
+//! | `l7-raw-atomics`| no `std::sync::atomic` / memory-`Ordering::` tokens outside    |
+//! |                 | `spp-sync` (and `spp-check`, which implements the model        |
+//! |                 | checker those wrappers report to) — every atomic the workspace |
+//! |                 | runs is one `cargo xtask check-interleavings` explores         |
+//! |                 | (DESIGN.md §12)                                                |
+//! | `l8-relaxed-note`| every `*_relaxed(` call site carries a same-line              |
+//! |                 | `// spp-sync: relaxed(<reason>)` annotation justifying why     |
+//! |                 | the weakest ordering is sound there                            |
 //!
 //! Suppress a finding with
 //! `// spp-lint: allow(<rule>): <justification>` (trailing or on the
@@ -44,14 +52,29 @@ pub struct Finding {
 }
 
 /// All rule ids, for pragma validation and `--json` counts.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 8] = [
     "l1-no-panic",
     "l2-csr-index",
     "l3-unordered-iter",
     "l4-unbounded",
     "l5-prob-clamp",
     "l6-raw-instant",
+    "l7-raw-atomics",
+    "l8-relaxed-note",
 ];
+
+/// One annotated `*_relaxed(` call site (listed in the lint report so
+/// the relaxed-ordering surface stays reviewable in one place).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RelaxedSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The justification from the `// spp-sync: relaxed(<reason>)`
+    /// annotation.
+    pub reason: String,
+}
 
 /// True when `s[idx]` is preceded by an identifier character (so `idx`
 /// does not start a standalone token).
@@ -468,6 +491,128 @@ fn check_l6(file: &SourceFile, findings: &mut Vec<Finding>) {
     }
 }
 
+fn applies_l7(path: &str) -> bool {
+    // spp-sync owns the raw atomics (it wraps them); spp-check needs
+    // them for the scheduler's own state and the mirrored cells the
+    // wrappers report into — instrumenting the instrumentation would
+    // recurse.
+    !(path.starts_with("crates/sync/src") || path.starts_with("crates/check/src"))
+}
+
+/// L7: no raw `std::sync::atomic` / memory-ordering tokens outside
+/// `spp-sync`.
+///
+/// Library code that wants an atomic must use the `spp_sync` wrappers
+/// (named-ordering methods, model-checkable under
+/// `cargo xtask check-interleavings`). Only the five memory orderings
+/// are matched — `cmp::Ordering::Less` and friends stay legal.
+fn check_l7(file: &SourceFile, findings: &mut Vec<Finding>) {
+    const ORDERINGS: [&str; 5] = [
+        "Ordering::Relaxed",
+        "Ordering::Acquire",
+        "Ordering::Release",
+        "Ordering::AcqRel",
+        "Ordering::SeqCst",
+    ];
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l7-raw-atomics") {
+            continue;
+        }
+        let t = &line.cleaned;
+        let mut hits: Vec<&str> = Vec::new();
+        if !token_positions(t, "sync::atomic").is_empty() {
+            hits.push("sync::atomic");
+        }
+        for ord in ORDERINGS {
+            if !token_positions(t, ord).is_empty() {
+                hits.push(ord);
+            }
+        }
+        for h in hits {
+            findings.push(Finding {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "l7-raw-atomics".to_string(),
+                message: format!(
+                    "`{h}` outside spp-sync; use the spp_sync wrapper types \
+                     (named-ordering methods, model-checked by \
+                     `cargo xtask check-interleavings`)"
+                ),
+            });
+        }
+    }
+}
+
+/// Byte offsets where a `<ident>_relaxed(` *call* occurs on a cleaned
+/// line — definition sites (`fn load_relaxed(`) are excluded.
+fn relaxed_call_positions(t: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = t[from..].find("_relaxed(") {
+        let at = from + p;
+        from = at + "_relaxed(".len();
+        // Expand left over the identifier to find the token start.
+        let start = t[..at]
+            .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .map_or(0, |q| q + 1);
+        // `fn <name>_relaxed(` declares the wrapper surface, it does not
+        // use it.
+        if t[..start].trim_end().ends_with("fn") {
+            continue;
+        }
+        out.push(start);
+    }
+    out
+}
+
+/// L8: every `*_relaxed(` call site carries a same-line
+/// `// spp-sync: relaxed(<reason>)` annotation with a non-empty reason.
+///
+/// Relaxed is the one ordering whose correctness argument lives entirely
+/// outside the type system; the annotation forces that argument to be
+/// written down where the next reader (and the lint report) can see it.
+fn check_l8(file: &SourceFile, findings: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || line.allows.contains("l8-relaxed-note") {
+            continue;
+        }
+        if relaxed_call_positions(&line.cleaned).is_empty() {
+            continue;
+        }
+        let annotated = line.relaxed_note.as_ref().is_some_and(|r| !r.is_empty());
+        if !annotated {
+            findings.push(Finding {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "l8-relaxed-note".to_string(),
+                message: "relaxed-ordering call site without a same-line \
+                          `// spp-sync: relaxed(<reason>)` annotation; state \
+                          why the weakest ordering is sound here"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Collects the annotated `*_relaxed(` call sites of `file` for the
+/// lint report's relaxed-ordering inventory.
+pub fn relaxed_sites(file: &SourceFile) -> Vec<RelaxedSite> {
+    let mut out = Vec::new();
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test || relaxed_call_positions(&line.cleaned).is_empty() {
+            continue;
+        }
+        if let Some(reason) = line.relaxed_note.as_ref().filter(|r| !r.is_empty()) {
+            out.push(RelaxedSite {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                reason: reason.clone(),
+            });
+        }
+    }
+    out
+}
+
 /// Runs every applicable rule over `file`, including malformed-pragma
 /// diagnostics.
 pub fn check_file(file: &SourceFile) -> Vec<Finding> {
@@ -499,6 +644,10 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     if applies_l6(path) {
         check_l6(file, &mut findings);
     }
+    if applies_l7(path) {
+        check_l7(file, &mut findings);
+    }
+    check_l8(file, &mut findings);
     findings.sort();
     findings
 }
@@ -679,6 +828,57 @@ mod tests {
     fn l6_ignores_type_mentions_and_pragma() {
         let src = "use std::time::Instant;\nfn f(anchor: Instant) {\n  let t = Instant::now(); // spp-lint: allow(l6-raw-instant): calibration loop predates the telemetry anchor\n}";
         assert!(lint("crates/core/src/vip.rs", src).is_empty());
+    }
+
+    // ---- L7 ----
+
+    #[test]
+    fn l7_flags_raw_atomics_and_memory_orderings() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\nfn f(x: &AtomicU64) {\n  x.load(Ordering::Relaxed);\n  x.store(1, Ordering::SeqCst);\n}";
+        let f = lint("crates/serve/src/overlay.rs", src);
+        assert_eq!(rules_of(&f), vec!["l7-raw-atomics"; 3], "{f:?}");
+    }
+
+    #[test]
+    fn l7_allows_sync_and_check_crates_and_cmp_ordering() {
+        let src = "use std::sync::atomic::Ordering;\nfn f() { g(Ordering::AcqRel); }";
+        assert!(lint("crates/sync/src/atomic.rs", src).is_empty());
+        assert!(lint("crates/check/src/runtime.rs", src).is_empty());
+        let cmp = "fn f(a: u32, b: u32) -> std::cmp::Ordering { if a < b { Ordering::Less } else { Ordering::Greater } }";
+        assert!(lint("crates/core/src/vip.rs", cmp).is_empty());
+    }
+
+    // ---- L8 ----
+
+    #[test]
+    fn l8_flags_unannotated_relaxed_call() {
+        let src = "fn f(x: &AtomicU64) {\n  x.fetch_add_relaxed(1);\n}";
+        let f = lint("crates/serve/src/overlay.rs", src);
+        assert_eq!(rules_of(&f), vec!["l8-relaxed-note"], "{f:?}");
+        assert_eq!(f[0].line, 2);
+    }
+
+    #[test]
+    fn l8_accepts_annotated_call_and_skips_definitions() {
+        let src = "fn f(x: &AtomicU64) {\n  x.load_relaxed(); // spp-sync: relaxed(monotonic tally)\n}\npub fn load_relaxed(&self) -> u64 { 0 }";
+        assert!(lint("crates/serve/src/overlay.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l8_rejects_empty_reason() {
+        let src = "fn f(x: &AtomicU64) {\n  x.load_relaxed(); // spp-sync: relaxed()\n}";
+        let f = lint("crates/serve/src/overlay.rs", src);
+        assert_eq!(rules_of(&f), vec!["l8-relaxed-note"], "{f:?}");
+    }
+
+    #[test]
+    fn relaxed_sites_inventory_lists_annotated_calls() {
+        let src = "fn f(x: &AtomicU64) {\n  x.load_relaxed(); // spp-sync: relaxed(monotonic tally)\n  x.store_relaxed(0);\n}";
+        let file = scan_source("crates/serve/src/overlay.rs", src);
+        let sites = relaxed_sites(&file);
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].line, 2);
+        assert_eq!(sites[0].reason, "monotonic tally");
     }
 
     // ---- engine ----

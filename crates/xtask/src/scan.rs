@@ -28,6 +28,10 @@ pub struct LineInfo {
     /// Rule ids suppressed on this line via pragmas (normalized
     /// lowercase).
     pub allows: BTreeSet<String>,
+    /// Justification from a trailing `// spp-sync: relaxed(<reason>)`
+    /// annotation, if present (L8; empty string when the parentheses
+    /// are empty).
+    pub relaxed_note: Option<String>,
 }
 
 /// A scanned source file ready for rule checks.
@@ -312,6 +316,18 @@ fn parse_pragma(after: &str) -> (BTreeSet<String>, bool) {
     (rules, ok)
 }
 
+/// Parses a `// spp-sync: relaxed(<reason>)` annotation from a raw
+/// source line (the cleaning pass blanks comments, so this reads the
+/// raw text). Returns the reason — possibly empty — when the marker is
+/// present; the L8 rule treats an empty reason as missing.
+fn parse_relaxed_note(raw: &str) -> Option<String> {
+    let pos = raw.find("spp-sync:")?;
+    let rest = raw[pos + 9..].trim_start();
+    let body = rest.strip_prefix("relaxed(")?;
+    let close = body.rfind(')')?;
+    Some(body[..close].trim().to_string())
+}
+
 /// Scans `src`, producing the per-line model used by all rules.
 pub fn scan_source(rel_path: &str, src: &str) -> SourceFile {
     let cleaned = clean_source(src);
@@ -362,6 +378,7 @@ pub fn scan_source(rel_path: &str, src: &str) -> SourceFile {
                 cleaned: (*cl).to_string(),
                 in_test: flags.get(idx).copied().unwrap_or(false),
                 allows: a,
+                relaxed_note: raw_lines.get(idx).and_then(|r| parse_relaxed_note(r)),
             }
         })
         .collect();
@@ -444,6 +461,18 @@ mod tests {
         let src = "//! spp-lint: allow(l2-csr-index): whole file justified\nfn a() {}\nfn b() {}";
         let f = scan_source("x.rs", src);
         assert!(f.lines.iter().all(|l| l.allows.contains("l2-csr-index")));
+    }
+
+    #[test]
+    fn relaxed_note_parsed_from_raw_line() {
+        let src = "x.load_relaxed(); // spp-sync: relaxed(tally; exact via RMW)\ny.load_relaxed();\nz.load_relaxed(); // spp-sync: relaxed()";
+        let f = scan_source("x.rs", src);
+        assert_eq!(
+            f.lines[0].relaxed_note.as_deref(),
+            Some("tally; exact via RMW")
+        );
+        assert_eq!(f.lines[1].relaxed_note, None);
+        assert_eq!(f.lines[2].relaxed_note.as_deref(), Some(""));
     }
 
     #[test]

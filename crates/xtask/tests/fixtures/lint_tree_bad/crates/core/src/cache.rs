@@ -1,0 +1,18 @@
+//! Lint fixture: malformed pragmas and violations the linter must
+//! report as hard errors.
+
+pub fn pragma_missing_justification(x: Option<u32>) -> u32 {
+    x.unwrap() // spp-lint: allow(l1-no-panic)
+}
+
+pub fn pragma_empty_rule_list(x: Option<u32>) -> u32 {
+    x.unwrap() // spp-lint: allow(): because
+}
+
+pub fn raw_atomic_outside_spp_sync(c: &std::sync::atomic::AtomicU64) -> u64 {
+    c.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+pub fn unannotated_relaxed_site(c: &spp_sync::AtomicU64) -> u64 {
+    c.load_relaxed()
+}

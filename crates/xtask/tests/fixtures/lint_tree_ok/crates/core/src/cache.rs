@@ -1,0 +1,21 @@
+//! Lint fixture: well-formed pragmas in all accepted shapes.
+
+pub fn trailing_comment_after_justification(x: Option<u32>) -> u32 {
+    // The justification may itself carry trailing prose and punctuation.
+    x.unwrap() // spp-lint: allow(l1-no-panic): presence checked by caller -- see the admission test
+}
+
+pub fn multiple_rules_one_pragma(x: Option<u32>) -> u32 {
+    let t0 = std::time::Instant::now(); // spp-lint: allow(l1-no-panic, l6-raw-instant): fixture exercising a multi-rule pragma
+    let v = x.unwrap(); // spp-lint: allow(l1-no-panic, l6-raw-instant): fixture exercising a multi-rule pragma
+    v + t0.elapsed().subsec_nanos()
+}
+
+pub fn standalone_pragma_covers_next_line(x: Option<u32>) -> u32 {
+    // spp-lint: allow(l1-no-panic): standalone form applies to the following line
+    x.unwrap()
+}
+
+pub fn annotated_relaxed_site(c: &spp_sync::AtomicU64) -> u64 {
+    c.load_relaxed() // spp-sync: relaxed(fixture: monotonic tally)
+}

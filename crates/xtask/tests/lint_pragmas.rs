@@ -1,0 +1,89 @@
+//! End-to-end tests for `cargo xtask lint` pragma handling, driven
+//! through the compiled binary against checked-in fixture trees
+//! (`--root` points the walker at a miniature workspace).
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn fixture_root(name: &str) -> String {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+        .to_str()
+        .unwrap()
+        .to_string()
+}
+
+fn lint(root: &str, json: bool) -> Output {
+    let mut args = vec!["lint", "--root", root];
+    if json {
+        args.push("--json");
+    }
+    Command::new(env!("CARGO_BIN_EXE_spp-xtask"))
+        .args(args)
+        .output()
+        .expect("spawn spp-xtask")
+}
+
+#[test]
+fn well_formed_pragmas_suppress_cleanly() {
+    let root = fixture_root("lint_tree_ok");
+    let out = lint(&root, false);
+    let text = String::from_utf8(out.stdout).unwrap();
+    // Trailing prose after the justification, multiple rules in one
+    // pragma, and the standalone next-line form must all suppress.
+    assert!(out.status.success(), "expected clean lint, got:\n{text}");
+    assert!(text.contains("0 finding(s)"), "{text}");
+    // The annotated relaxed call is inventoried, not flagged.
+    assert!(text.contains("1 annotated relaxed site(s)"), "{text}");
+    assert!(text.contains("relaxed(fixture: monotonic tally)"), "{text}");
+}
+
+#[test]
+fn malformed_pragma_is_a_hard_error() {
+    let root = fixture_root("lint_tree_bad");
+    let out = lint(&root, false);
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        !out.status.success(),
+        "malformed pragmas must fail the lint"
+    );
+    // Both malformed shapes are reported ...
+    assert_eq!(
+        text.matches("[pragma] malformed spp-lint pragma").count(),
+        2,
+        "{text}"
+    );
+    // ... and neither suppresses: the underlying violations surface too.
+    assert_eq!(text.matches("[l1-no-panic]").count(), 2, "{text}");
+}
+
+#[test]
+fn l7_and_l8_fire_outside_spp_sync() {
+    let root = fixture_root("lint_tree_bad");
+    let out = lint(&root, true);
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(!out.status.success());
+    assert!(json.contains("\"l7-raw-atomics\": 3"), "{json}");
+    assert!(json.contains("\"l8-relaxed-note\": 1"), "{json}");
+    // The unannotated site is a finding, not an inventory entry.
+    assert!(json.contains("\"relaxed_sites\": [\n\n  ]"), "{json}");
+}
+
+#[test]
+fn json_report_counts_match_text_totals() {
+    let root = fixture_root("lint_tree_ok");
+    let out = lint(&root, true);
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(out.status.success(), "{json}");
+    assert!(json.contains("\"total\": 0"), "{json}");
+    assert!(json.contains("\"files_scanned\": 1"), "{json}");
+    assert!(
+        json.contains("\"reason\": \"fixture: monotonic tally\""),
+        "{json}"
+    );
+}

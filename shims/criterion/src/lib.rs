@@ -42,7 +42,7 @@ impl Bencher {
         let mut min = Duration::MAX;
         let mut max = Duration::ZERO;
         for _ in 0..self.samples {
-            let t0 = Instant::now();
+            let t0 = Instant::now(); // spp-lint: allow(l6-raw-instant): criterion-compatible bench timing; measures wall time by design, like spp-bench
             black_box(f());
             let dt = t0.elapsed();
             total += dt;
