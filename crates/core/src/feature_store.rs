@@ -167,15 +167,16 @@ impl PartitionedFeatureStore {
     /// Classifies an MFG node list into the four storage groups.
     pub fn plan(&self, nodes: &[VertexId]) -> BatchPlan {
         let mut plan = BatchPlan {
-            remote: vec![Vec::new(); self.layout.num_parts()],
+            remote: vec![Vec::new(); self.layout.num_parts()], // spp-hot: alloc(per-owner request lists, one per partition; the plan IS the batch output)
             ..BatchPlan::default()
         };
         for (i, &v) in nodes.iter().enumerate() {
             match self.locate(v) {
-                FeatureLocation::LocalGpu => plan.local_gpu.push(i as u32),
-                FeatureLocation::LocalCpu => plan.local_cpu.push(i as u32),
-                FeatureLocation::Cached => plan.cached.push(i as u32),
+                FeatureLocation::LocalGpu => plan.local_gpu.push(i as u32), // spp-hot: alloc(plan bucket, one u32 per batch node)
+                FeatureLocation::LocalCpu => plan.local_cpu.push(i as u32), // spp-hot: alloc(plan bucket, one u32 per batch node)
+                FeatureLocation::Cached => plan.cached.push(i as u32), // spp-hot: alloc(plan bucket, one u32 per batch node)
                 FeatureLocation::Remote(owner) => {
+                    // spp-hot: alloc(plan bucket, one entry per remote batch node)
                     plan.remote[owner as usize].push((i as u32, v));
                 }
             }
@@ -206,6 +207,7 @@ impl PartitionedFeatureStore {
     /// Gathers the full feature tensor for an MFG node list, fetching
     /// remote features through `fetch(owner, ids) -> FeatureMatrix`
     /// (rows aligned with `ids`). Output rows align with `nodes`.
+    // spp-hot(feature.gather)
     pub fn gather<F>(&self, nodes: &[VertexId], mut fetch: F) -> Matrix
     where
         F: FnMut(u32, &[VertexId]) -> FeatureMatrix,
@@ -230,7 +232,7 @@ impl PartitionedFeatureStore {
             if requests.is_empty() {
                 continue;
             }
-            let ids: Vec<VertexId> = requests.iter().map(|&(_, v)| v).collect();
+            let ids: Vec<VertexId> = requests.iter().map(|&(_, v)| v).collect(); // spp-hot: alloc(remote fetch id list, one per off-partition owner touched)
             let feats = fetch(owner as u32, &ids);
             assert_eq!(feats.num_rows(), ids.len(), "fetch returned wrong rows");
             assert_eq!(feats.dim(), d, "fetch returned wrong dim");

@@ -338,6 +338,7 @@ fn inv_degrees(graph: &CsrGraph) -> Vec<f64> {
 /// next-hop inclusion probability from its out-neighborhood. Every sweep
 /// (serial, dense-parallel, frontier-sparse) evaluates exactly this
 /// function, which is what makes them bit-identical.
+// spp-hot(core.hop_update)
 #[inline]
 fn hop_update(graph: &CsrGraph, inv_deg: &[f64], prev: &[f64], f: f64, u: VertexId) -> f64 {
     let mut log_miss = 0.0f64;

@@ -37,9 +37,9 @@ impl Level {
 
     fn neighbors(&self, v: u32) -> impl Iterator<Item = (u32, u64)> + '_ {
         let v = v as usize;
-        self.col[self.row_ptr[v]..self.row_ptr[v + 1]]
+        self.col[self.row_ptr[v]..self.row_ptr[v + 1]] // spp-hot: allow(h2-panic): row_ptr bounds are Level-construction CSR invariants (this is the level's checked accessor)
             .iter()
-            .zip(&self.ew[self.row_ptr[v]..self.row_ptr[v + 1]])
+            .zip(&self.ew[self.row_ptr[v]..self.row_ptr[v + 1]]) // spp-hot: allow(h2-panic): row_ptr bounds are Level-construction CSR invariants (this is the level's checked accessor)
             .map(|(&c, &w)| (c, w))
     }
 }

@@ -183,13 +183,14 @@ impl WorkerPool {
     /// Determinism: which worker runs a job is timing-independent (the
     /// deal is fixed), and the output order is the job order, so the
     /// result is identical to the serial loop for any worker count.
+    // spp-hot(pool.run_jobs)
     pub fn run_jobs<R, F>(&self, num_jobs: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
         if num_jobs == 0 {
-            return Vec::new();
+            return Vec::new(); // spp-hot: alloc(empty-region result; Vec::new of len 0 never touches the heap)
         }
         let tm = metrics::enabled().then(pool_metrics);
         if let Some(m) = tm {
@@ -204,7 +205,7 @@ impl WorkerPool {
         };
         let threads = self.workers.min(num_jobs);
         if threads <= 1 {
-            return (0..num_jobs).map(run).collect();
+            return (0..num_jobs).map(run).collect(); // spp-hot: alloc(region result buffer, one slot per job — the region's output)
         }
         if let Some(m) = tm {
             m.threads_forked.add(threads as u64);
@@ -213,25 +214,25 @@ impl WorkerPool {
         // queue is mutex-ordered (spp-sync instrumented — the pool-queue
         // model-check harness explores this handoff) and the final sort
         // restores job-index order regardless of completion order.
-        let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_jobs));
+        let merged: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(num_jobs)); // spp-hot: alloc(merge queue, one slot per job; lives for the region)
         let run = &run;
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let merged = &merged;
                     s.spawn(move || {
-                        let mut part = Vec::new();
+                        let mut part = Vec::with_capacity(num_jobs.div_ceil(threads)); // spp-hot: alloc(per-worker staging, sized once to its round-robin share)
                         let mut i = w;
                         while i < num_jobs {
-                            part.push((i, run(i)));
+                            part.push((i, run(i))); // spp-hot: alloc(per-worker result slot; capacity reserved above)
                             i += threads;
                         }
-                        merged.lock().extend(part);
+                        merged.lock().extend(part); // spp-hot: allow(h1-alloc, h3-lock): one publish per worker at region end — the merge IS the batch boundary
                     })
                 })
-                .collect();
+                .collect(); // spp-hot: alloc(scoped-thread handles, one per worker)
             for h in handles {
-                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)); // spp-hot: allow(h3-lock): region barrier — scoped join is the batch boundary
             }
         });
         if let Some(m) = tm {
@@ -239,12 +240,13 @@ impl WorkerPool {
         }
         let mut tagged = merged.into_inner();
         tagged.sort_by_key(|&(i, _)| i);
-        tagged.into_iter().map(|(_, r)| r).collect()
+        tagged.into_iter().map(|(_, r)| r).collect() // spp-hot: alloc(index-ordered region result, one slot per job)
     }
 
     /// Maps `f(index, item)` over `items`, chunked into
     /// `jobs_for_items(items.len(), min_per_job)` even ranges, merged in
     /// index order.
+    // spp-hot(pool.par_map)
     pub fn par_map<T, R, F>(&self, items: &[T], min_per_job: usize, f: F) -> Vec<R>
     where
         T: Sync,
@@ -254,16 +256,16 @@ impl WorkerPool {
         let jobs = self.jobs_for_items(items.len(), min_per_job);
         let ranges = even_ranges(items.len(), jobs);
         let parts = self.run_jobs(ranges.len(), |j| {
-            let r = ranges[j].clone();
-            let mut out = Vec::with_capacity(r.len());
+            let r = ranges[j].clone(); // spp-hot: alloc(Range<usize> clone is a stack copy; lexical token match only)
+            let mut out = Vec::with_capacity(r.len()); // spp-hot: alloc(chunk output buffer, sized once per job)
             for i in r {
-                out.push(f(i, &items[i]));
+                out.push(f(i, &items[i])); // spp-hot: alloc(chunk output slot; capacity reserved above)
             }
             out
         });
-        let mut merged = Vec::with_capacity(items.len());
+        let mut merged = Vec::with_capacity(items.len()); // spp-hot: alloc(final merged output, one slot per item — the map's result)
         for p in parts {
-            merged.extend(p);
+            merged.extend(p); // spp-hot: alloc(index-ordered splice of chunk outputs; capacity reserved above)
         }
         merged
     }
@@ -288,13 +290,13 @@ impl WorkerPool {
             "last cut must equal data.len()"
         );
         // Carve the slice into disjoint mutable chunks.
-        let mut pieces: Vec<(usize, usize, &mut [T])> = Vec::with_capacity(cuts.len());
+        let mut pieces: Vec<(usize, usize, &mut [T])> = Vec::with_capacity(cuts.len()); // spp-hot: alloc(chunk table, one entry per cut)
         let mut rest = data;
         let mut start = 0usize;
         for (ci, &cut) in cuts.iter().enumerate() {
             assert!(cut >= start, "cuts must be ascending");
             let (head, tail) = rest.split_at_mut(cut - start);
-            pieces.push((ci, start, head));
+            pieces.push((ci, start, head)); // spp-hot: alloc(chunk table entry; capacity reserved above)
             rest = tail;
             start = cut;
         }
@@ -321,9 +323,9 @@ impl WorkerPool {
         }
         // Deal chunks round-robin (timing-independent assignment).
         let mut per_worker: Vec<Vec<(usize, usize, &mut [T])>> =
-            (0..threads).map(|_| Vec::new()).collect();
+            (0..threads).map(|_| Vec::new()).collect(); // spp-hot: alloc(round-robin deal lists, one per worker)
         for (i, piece) in pieces.into_iter().enumerate() {
-            per_worker[i % threads].push(piece);
+            per_worker[i % threads].push(piece); // spp-hot: alloc(deal-list entry, bounded by the chunk count)
         }
         let run = &run;
         std::thread::scope(|s| {
@@ -336,9 +338,9 @@ impl WorkerPool {
                         }
                     })
                 })
-                .collect();
+                .collect(); // spp-hot: alloc(scoped-thread handles, one per worker)
             for h in handles {
-                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e));
+                h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)); // spp-hot: allow(h3-lock): region barrier — scoped join is the batch boundary
             }
         });
     }
@@ -351,11 +353,11 @@ pub fn even_ranges(n: usize, parts: usize) -> Vec<Range<usize>> {
     let parts = parts.max(1);
     let base = n / parts;
     let extra = n % parts;
-    let mut out = Vec::with_capacity(parts);
+    let mut out = Vec::with_capacity(parts); // spp-hot: alloc(range table, one entry per job)
     let mut start = 0usize;
     for p in 0..parts {
         let len = base + usize::from(p < extra);
-        out.push(start..start + len);
+        out.push(start..start + len); // spp-hot: alloc(range-table entry; capacity reserved above)
         start += len;
     }
     out

@@ -40,8 +40,9 @@ impl VertexIndexer {
         // Load factor <= 0.5.
         let cap = (expected.max(4) * 2).next_power_of_two();
         Self {
+            // spp-hot: alloc(dedup table, sized once per batch from the fanout bound)
             slots: vec![EMPTY; cap],
-            nodes: Vec::with_capacity(expected),
+            nodes: Vec::with_capacity(expected), // spp-hot: alloc(dense node list, sized once per batch from the fanout bound)
             mask: cap - 1,
         }
     }
@@ -64,7 +65,7 @@ impl VertexIndexer {
             if s == EMPTY {
                 let local = self.nodes.len() as u32;
                 self.slots[i] = local + 1;
-                self.nodes.push(v);
+                self.nodes.push(v); // spp-hot: alloc(appends the batch node list; capacity reserved at construction (amortized))
                 return local;
             }
             if self.nodes[(s - 1) as usize] == v {
@@ -93,7 +94,7 @@ impl VertexIndexer {
     fn grow(&mut self) {
         let cap = self.slots.len() * 2;
         self.mask = cap - 1;
-        self.slots = vec![EMPTY; cap];
+        self.slots = vec![EMPTY; cap]; // spp-hot: alloc(hash-table doubling; amortized, rare once with_capacity guessed right)
         for (local, &v) in self.nodes.iter().enumerate() {
             let mut i = Self::hash(v) & self.mask;
             while self.slots[i] != EMPTY {

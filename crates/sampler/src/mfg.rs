@@ -26,7 +26,7 @@ impl HopAdj {
     #[inline]
     pub fn neighbors(&self, t: usize) -> &[u32] {
         // spp-lint: allow(l2-csr-index): this IS HopAdj's checked accessor, the MFG analogue of CsrGraph::neighbors
-        &self.col[self.row_ptr[t]..self.row_ptr[t + 1]]
+        &self.col[self.row_ptr[t]..self.row_ptr[t + 1]] // spp-hot: allow(h2-panic): row_ptr bounds are MFG-construction CSR invariants
     }
 
     /// Number of sampled edges in this hop.

@@ -69,39 +69,41 @@ impl<'g> NodeWiseSampler<'g> {
     /// # Panics
     ///
     /// Panics if `seeds` contains duplicates (a minibatch is a set).
+    // spp-hot(sampler.batch_prep)
     pub fn sample<R: Rng>(&self, seeds: &[VertexId], rng: &mut R) -> Mfg {
-        let mut indexer =
-            VertexIndexer::with_capacity(self.fanouts.max_expanded_size(seeds.len()).min(1 << 20));
+        let cap = self.fanouts.max_expanded_size(seeds.len()).min(1 << 20);
+        let mut indexer = VertexIndexer::with_capacity(cap); // spp-hot: alloc(batch dedup indexer, sized once from the fanout bound)
         for (i, &s) in seeds.iter().enumerate() {
             indexer.insert(s);
             assert_eq!(indexer.len(), i + 1, "duplicate seed {s} in minibatch");
         }
-        let mut sizes = vec![seeds.len()];
-        let mut hops = Vec::with_capacity(self.fanouts.num_hops());
-        let mut scratch: Vec<VertexId> = Vec::new();
+        let mut sizes = vec![seeds.len()]; // spp-hot: alloc(per-hop frontier sizes, num_hops+1 entries — MFG output)
+        let mut hops = Vec::with_capacity(self.fanouts.num_hops()); // spp-hot: alloc(hop adjacency list, one entry per hop — MFG output)
+        let mut scratch: Vec<VertexId> = Vec::new(); // spp-hot: alloc(neighbor scratch, reused across every vertex of the batch)
 
         for h in 1..=self.fanouts.num_hops() {
             let fanout = self.fanouts.hop(h);
             let num_targets = sizes.last().copied().unwrap_or(0);
-            let mut row_ptr = Vec::with_capacity(num_targets + 1);
-            row_ptr.push(0usize);
-            let mut col: Vec<u32> = Vec::with_capacity(num_targets * fanout);
+            let mut row_ptr = Vec::with_capacity(num_targets + 1); // spp-hot: alloc(hop CSR row_ptr — MFG output, sized once per hop)
+            row_ptr.push(0usize); // spp-hot: alloc(hop CSR entry; capacity reserved above)
+            let mut col: Vec<u32> = Vec::with_capacity(num_targets * fanout); // spp-hot: alloc(hop CSR col — MFG output, sized once per hop)
             for t in 0..num_targets {
                 let v = indexer.nodes()[t];
                 sample_neighbors(self.graph, v, fanout, rng, &mut scratch);
                 for &u in &scratch {
-                    col.push(indexer.insert(u));
+                    col.push(indexer.insert(u)); // spp-hot: alloc(hop CSR entry; capacity reserved above)
                 }
-                row_ptr.push(col.len());
+                row_ptr.push(col.len()); // spp-hot: alloc(hop CSR entry; capacity reserved above)
             }
             let num_sources = indexer.len();
-            hops.push(HopAdj {
+            let hop = HopAdj {
                 num_targets,
                 num_sources,
                 row_ptr,
                 col,
-            });
-            sizes.push(num_sources);
+            };
+            hops.push(hop); // spp-hot: alloc(hop record; capacity reserved above)
+            sizes.push(num_sources); // spp-hot: alloc(frontier-size entry, num_hops total)
         }
 
         let mfg = Mfg {
@@ -141,26 +143,29 @@ pub fn sample_neighbors<R: Rng>(
     }
     if fanout * 4 >= d {
         // Partial Fisher–Yates on a scratch index array.
-        let mut idx: Vec<u32> = (0..d as u32).collect();
+        let mut idx: Vec<u32> = (0..d as u32).collect(); // spp-hot: alloc(index permutation scratch for the dense branch, fanout >= degree/4)
         for i in 0..fanout {
             let j = rng.gen_range(i..d);
             idx.swap(i, j);
-            out.push(neigh[idx[i] as usize]);
+            out.push(neigh[idx[i] as usize]); // spp-hot: alloc(writes caller-owned scratch; capacity amortizes across vertices)
         }
     } else {
         // Floyd's sampling: distinct indices without materializing 0..d.
-        // For the tiny fanouts used here a linear scan of `picked` beats a
-        // hash set.
-        let mut picked: Vec<u32> = Vec::with_capacity(fanout);
+        // For the tiny fanouts used here a linear scan beats a hash set.
+        // Indices are staged directly in `out` (caller-owned scratch)
+        // and mapped to vertex ids in place, so this branch allocates
+        // nothing once `out`'s capacity has warmed up.
         for i in (d - fanout)..d {
             let j = rng.gen_range(0..=i) as u32;
-            if picked.contains(&j) {
-                picked.push(i as u32);
+            if out.contains(&j) {
+                out.push(i as u32); // spp-hot: alloc(writes caller-owned scratch; capacity amortizes across vertices)
             } else {
-                picked.push(j);
+                out.push(j); // spp-hot: alloc(writes caller-owned scratch; capacity amortizes across vertices)
             }
         }
-        out.extend(picked.into_iter().map(|i| neigh[i as usize]));
+        for slot in out.iter_mut() {
+            *slot = neigh[*slot as usize];
+        }
     }
 }
 

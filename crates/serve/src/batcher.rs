@@ -127,6 +127,7 @@ impl MicroBatcher {
         Some(self.close(q, deadline, CloseTrigger::Flush))
     }
 
+    // spp-hot(batcher.close)
     fn close(&mut self, q: &mut AdmissionQueue, at: f64, trigger: CloseTrigger) -> MicroBatch {
         let requests = q.drain(self.policy.max_batch_size);
         debug_assert!(!requests.is_empty(), "closed an empty batch");

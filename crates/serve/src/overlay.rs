@@ -118,6 +118,7 @@ impl DynamicOverlay {
     /// Read-only lookup, counting a hit or miss (relaxed atomics — safe
     /// under concurrent pool access; tallies are exact because every
     /// probe increments exactly one counter).
+    // spp-hot(overlay.probe)
     #[inline]
     pub fn probe(&self, v: VertexId) -> Option<u32> {
         match self.slot_of.get(&v) {

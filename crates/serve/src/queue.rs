@@ -151,7 +151,7 @@ impl AdmissionQueue {
     /// Drains up to `max` requests from the head, in admission order.
     pub fn drain(&mut self, max: usize) -> Vec<InferenceRequest> {
         let take = max.min(self.pending.len());
-        self.pending.drain(..take).collect()
+        self.pending.drain(..take).collect() // spp-hot: alloc(batch hand-off buffer, owned by the MicroBatch; bounded by max_batch_size)
     }
 }
 

@@ -28,7 +28,7 @@ use crate::queue::{AdmissionQueue, InferenceRequest, Rejection};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use spp_comm::{DesEngine, ResourceId};
-use spp_core::{PartitionedFeatureStore, StaticCache};
+use spp_core::{PartitionedFeatureStore, ReorderedLayout, StaticCache};
 use spp_gnn::GnnModel;
 use spp_graph::{FeatureMatrix, VertexId};
 use spp_pool::WorkerPool;
@@ -248,6 +248,34 @@ enum Tier {
     Static,
     Overlay,
     Fetch,
+}
+
+/// Classifies one MFG node against local storage and both cache tiers.
+/// Per-node kernel of the batch classification pass; runs under
+/// [`WorkerPool::par_map`], so it must stay allocation- and lock-free.
+// spp-hot(serve.classify)
+#[inline]
+fn classify_node(
+    layout: &ReorderedLayout,
+    part: u32,
+    gpu_rows: usize,
+    cache: &StaticCache,
+    overlay: &DynamicOverlay,
+    v: VertexId,
+) -> Tier {
+    if layout.is_local(v, part) {
+        if layout.local_index(v) < gpu_rows {
+            Tier::LocalGpu
+        } else {
+            Tier::LocalCpu
+        }
+    } else if cache.contains(v) {
+        Tier::Static
+    } else if overlay.probe(v).is_some() {
+        Tier::Overlay
+    } else {
+        Tier::Fetch
+    }
 }
 
 /// Telemetry handles, resolved once (no-ops while telemetry is off).
@@ -578,19 +606,7 @@ impl<'a> InferenceServer<'a> {
         let cache = &self.static_cache;
         let overlay = &self.overlay;
         let tiers: Vec<Tier> = self.cfg.pool.par_map(&mfg.nodes, 512, |_, &v| {
-            if layout.is_local(v, part) {
-                if layout.local_index(v) < gpu_rows {
-                    Tier::LocalGpu
-                } else {
-                    Tier::LocalCpu
-                }
-            } else if cache.contains(v) {
-                Tier::Static
-            } else if overlay.probe(v).is_some() {
-                Tier::Overlay
-            } else {
-                Tier::Fetch
-            }
+            classify_node(layout, part, gpu_rows, cache, overlay, v)
         });
         let (mut n_gpu, mut n_cpu, mut n_static, mut n_overlay, mut n_fetch) =
             (0usize, 0usize, 0usize, 0usize, 0usize);

@@ -21,6 +21,7 @@ use crate::hook::{AtomicOp, MemOrd};
 /// Routes an operation to the installed model hooks; `None` means the
 /// caller performs the real operation (not a model thread, or no checker
 /// in this process).
+// spp-hot: stop(model-check instrumentation; compiled only under cfg(spp_model_check), never in release hot paths)
 #[cfg(spp_model_check)]
 #[inline]
 fn dispatch(cell: &RawAtomicU64, op: AtomicOp) -> Option<u64> {

@@ -35,8 +35,21 @@ impl Matrix {
         Self {
             rows,
             cols,
+            // spp-hot: alloc(fresh output buffer; hot callers reuse one via the *_into kernels)
             data: vec![0.0; rows * cols],
         }
+    }
+
+    /// Reshapes `self` to `rows x cols` and zero-fills, reusing the
+    /// existing buffer. Allocation-free once the buffer has grown to
+    /// the steady-state shape (`resize` only allocates on growth), so
+    /// per-batch kernels that route through the `*_into` variants stop
+    /// paying one heap allocation per call.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Identity matrix.
@@ -148,24 +161,37 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics on inner-dimension mismatch.
+    // spp-hot(tensor.matmul)
     pub fn matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(pool, other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul`] into a caller-provided scratch matrix, which
+    /// is reshaped with [`Matrix::reset`] (allocation-free once its
+    /// buffer has grown). Bit-identical to [`Matrix::matmul_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into(&self, pool: WorkerPool, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.cols);
+        out.reset(self.rows, other.cols);
         let flops = (self.rows * self.cols * other.cols) as u64;
         let jobs = pool.jobs_for_cost(flops).min(self.rows.max(1));
         if jobs <= 1 {
             Self::matmul_rows(self, other, 0, &mut out.data);
-            return out;
+            return;
         }
         let out_cols = other.cols;
         let cuts: Vec<usize> = even_ranges(self.rows, jobs)
             .iter()
             .map(|r| r.end * out_cols)
-            .collect();
+            .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
             Self::matmul_rows(self, other, offset / out_cols, chunk);
         });
-        out
     }
 
     /// Computes output rows `row0..row0 + chunk.len()/other.cols` into
@@ -206,9 +232,23 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.rows != other.rows`.
+    // spp-hot(tensor.t_matmul)
     pub fn t_matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.t_matmul_into(pool, other, &mut out);
+        out
+    }
+
+    /// [`Matrix::t_matmul`] into a caller-provided scratch matrix
+    /// (reshaped via [`Matrix::reset`]); bit-identical to
+    /// [`Matrix::t_matmul_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul_into(&self, pool: WorkerPool, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
-        let mut out = Matrix::zeros(self.cols, other.cols);
+        out.reset(self.cols, other.cols);
         let flops = (self.rows * self.cols * other.cols) as u64;
         let jobs = pool.jobs_for_cost(flops).min(self.cols.max(1));
         if jobs <= 1 {
@@ -225,13 +265,13 @@ impl Matrix {
                     }
                 }
             }
-            return out;
+            return;
         }
         let out_cols = other.cols;
         let cuts: Vec<usize> = even_ranges(self.cols, jobs)
             .iter()
             .map(|r| r.end * out_cols)
-            .collect();
+            .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
             let k0 = offset / out_cols;
             for r in 0..self.rows {
@@ -247,7 +287,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// `self @ otherᵀ` without materializing the transpose, on the
@@ -267,11 +306,25 @@ impl Matrix {
     /// # Panics
     ///
     /// Panics if `self.cols != other.cols`.
+    // spp-hot(tensor.matmul_t)
     pub fn matmul_t_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_t_into(pool, other, &mut out);
+        out
+    }
+
+    /// [`Matrix::matmul_t`] into a caller-provided scratch matrix
+    /// (reshaped via [`Matrix::reset`]); bit-identical to
+    /// [`Matrix::matmul_t_with`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.cols != other.cols`.
+    pub fn matmul_t_into(&self, pool: WorkerPool, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_t dimension mismatch");
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        out.reset(self.rows, other.rows);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         let flops = (self.rows * self.cols * other.rows) as u64;
         let jobs = pool.jobs_for_cost(flops).min(self.rows.max(1));
@@ -279,7 +332,7 @@ impl Matrix {
         let cuts: Vec<usize> = even_ranges(self.rows, jobs)
             .iter()
             .map(|r| r.end * out_cols)
-            .collect();
+            .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
             let i0 = offset / out_cols;
             for (ii, out_row) in chunk.chunks_mut(out_cols).enumerate() {
@@ -294,7 +347,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Materialized transpose, on the global worker pool.
@@ -305,9 +357,18 @@ impl Matrix {
     /// [`Matrix::transpose`] on an explicit pool; a pure permutation,
     /// split by output rows.
     pub fn transpose_with(&self, pool: WorkerPool) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::zeros(0, 0);
+        self.transpose_into(pool, &mut out);
+        out
+    }
+
+    /// [`Matrix::transpose`] into a caller-provided scratch matrix
+    /// (reshaped via [`Matrix::reset`]); bit-identical to
+    /// [`Matrix::transpose_with`].
+    pub fn transpose_into(&self, pool: WorkerPool, out: &mut Matrix) {
+        out.reset(self.cols, self.rows);
         if out.data.is_empty() {
-            return out;
+            return;
         }
         // Memory-bound: count ~4 units per element moved so transposes
         // parallelize at roughly the same byte volume as products.
@@ -318,7 +379,7 @@ impl Matrix {
         let cuts: Vec<usize> = even_ranges(self.cols, jobs)
             .iter()
             .map(|r| r.end * out_cols)
-            .collect();
+            .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
             let j0 = offset / out_cols;
             for (ji, out_row) in chunk.chunks_mut(out_cols).enumerate() {
@@ -328,7 +389,6 @@ impl Matrix {
                 }
             }
         });
-        out
     }
 
     /// Element-wise in-place addition.
@@ -454,6 +514,41 @@ mod tests {
             assert_eq!(a.transpose_with(WorkerPool::new(workers)), serial);
         }
         assert_eq!(serial.transpose(), a);
+    }
+
+    #[test]
+    fn into_variants_reuse_scratch_bit_identically() {
+        let a = fractious(600, 70, 6);
+        let b = fractious(70, 50, 7);
+        let c = fractious(600, 50, 8);
+        let d = fractious(320, 70, 9);
+        let pool = WorkerPool::new(4);
+        let mut scratch = Matrix::zeros(1, 1);
+        // Run each kernel twice through the same scratch: the second
+        // pass must be bit-identical to the allocating variant even
+        // though the buffer is dirty from the first.
+        for _ in 0..2 {
+            a.matmul_into(pool, &b, &mut scratch);
+            assert_eq!(scratch, a.matmul_with(pool, &b));
+            a.t_matmul_into(pool, &c, &mut scratch);
+            assert_eq!(scratch, a.t_matmul_with(pool, &c));
+            a.matmul_t_into(pool, &d, &mut scratch);
+            assert_eq!(scratch, a.matmul_t_with(pool, &d));
+            a.transpose_into(pool, &mut scratch);
+            assert_eq!(scratch, a.transpose_with(pool));
+        }
+    }
+
+    #[test]
+    fn reset_reuses_capacity_without_reallocating() {
+        let mut m = Matrix::zeros(10, 10);
+        let cap = m.data.capacity();
+        let ptr = m.data.as_ptr();
+        m.reset(5, 8);
+        assert_eq!(m.shape(), (5, 8));
+        assert!(m.as_flat().iter().all(|&x| x == 0.0));
+        assert_eq!(m.data.capacity(), cap);
+        assert_eq!(m.data.as_ptr(), ptr);
     }
 
     #[test]

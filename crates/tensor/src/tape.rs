@@ -176,9 +176,9 @@ impl Tape {
         let (rows, cols) = self.value(x).shape();
         assert_eq!(self.value(bias).shape(), (1, cols), "bias shape mismatch");
         let mut v = self.value(x).clone();
+        let b = &self.nodes[bias.0].value;
         for i in 0..rows {
-            let b = self.nodes[bias.0].value.row(0).to_vec();
-            for (o, bb) in v.row_mut(i).iter_mut().zip(b) {
+            for (o, &bb) in v.row_mut(i).iter_mut().zip(b.row(0)) {
                 *o += bb;
             }
         }
@@ -491,10 +491,10 @@ impl Tape {
             let Some(g) = self.nodes[i].grad.take() else {
                 continue;
             };
-            // Re-insert so callers can read it afterwards.
-            self.nodes[i].grad = Some(g.clone());
             // Borrow-splitting: gather what we need from node i immutably,
-            // then write into input grads.
+            // then write into input grads. `g` is re-inserted after the
+            // match so callers can read it; arms that only read the
+            // upstream gradient borrow it instead of cloning.
             match &self.nodes[i].op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -507,7 +507,7 @@ impl Tape {
                 Op::Add(a, b) => {
                     let (a, b) = (*a, *b);
                     self.accumulate(a, g.clone());
-                    self.accumulate(b, g);
+                    self.accumulate(b, g.clone());
                 }
                 Op::AddBias(x, bias) => {
                     let (x, bias) = (*x, *bias);
@@ -518,12 +518,12 @@ impl Tape {
                             *o += v;
                         }
                     }
-                    self.accumulate(x, g);
+                    self.accumulate(x, g.clone());
                     self.accumulate(bias, gb);
                 }
                 Op::Relu(x) => {
                     let x = *x;
-                    let mut gx = g;
+                    let mut gx = g.clone();
                     for (gv, &xv) in gx
                         .as_flat_mut()
                         .iter_mut()
@@ -537,7 +537,7 @@ impl Tape {
                 }
                 Op::LeakyRelu(x, slope) => {
                     let (x, slope) = (*x, *slope);
-                    let mut gx = g;
+                    let mut gx = g.clone();
                     for (gv, &xv) in gx
                         .as_flat_mut()
                         .iter_mut()
@@ -551,7 +551,7 @@ impl Tape {
                 }
                 Op::Scale(x, s) => {
                     let (x, s) = (*x, *s);
-                    let mut gx = g;
+                    let mut gx = g.clone();
                     gx.scale_assign(s);
                     self.accumulate(x, gx);
                 }
@@ -580,7 +580,7 @@ impl Tape {
                 }
                 Op::Dropout(x, mask) => {
                     let x = *x;
-                    let mut gx = g;
+                    let mut gx = g.clone();
                     for (gv, &m) in gx.as_flat_mut().iter_mut().zip(mask) {
                         *gv *= m;
                     }
@@ -621,9 +621,9 @@ impl Tape {
                             // (`continue`); the arm exists only for the type.
                             AggMode::Sum | AggMode::Max => 1.0,
                         };
+                        let gt = g.row(t);
                         for &s in &adj.col[lo..hi] {
-                            let gt = g.row(t).to_vec();
-                            for (o, gv) in gx.row_mut(s as usize).iter_mut().zip(gt) {
+                            for (o, &gv) in gx.row_mut(s as usize).iter_mut().zip(gt) {
                                 *o += w * gv;
                             }
                         }
@@ -636,7 +636,7 @@ impl Tape {
                     adj,
                 } => {
                     let (target, source) = (*target, *source);
-                    let adj = Arc::clone(&adj.clone());
+                    let adj = Arc::clone(adj);
                     let mut gt = Matrix::zeros(self.nodes[target.0].value.rows(), 1);
                     let mut gs = Matrix::zeros(self.nodes[source.0].value.rows(), 1);
                     let mut k = 0usize;
@@ -653,8 +653,8 @@ impl Tape {
                 }
                 Op::EdgeSoftmax { e, adj } => {
                     let e = *e;
-                    let adj = Arc::clone(&adj.clone());
-                    let probs = self.nodes[i].value.clone();
+                    let adj = Arc::clone(adj);
+                    let probs = &self.nodes[i].value;
                     let mut ge = Matrix::zeros(adj.num_edges(), 1);
                     for t in 0..adj.num_targets {
                         let (lo, hi) = (adj.row_ptr[t], adj.row_ptr[t + 1]);
@@ -667,18 +667,18 @@ impl Tape {
                 }
                 Op::WeightedAgg { w, x, adj } => {
                     let (w, x) = (*w, *x);
-                    let adj = Arc::clone(&adj.clone());
+                    let adj = Arc::clone(adj);
                     let (rx, d) = self.nodes[x.0].value.shape();
                     let mut gw = Matrix::zeros(adj.num_edges(), 1);
                     let mut gx = Matrix::zeros(rx, d);
                     let mut k = 0usize;
                     for t in 0..adj.num_targets {
+                        let gt = g.row(t);
                         for &s in &adj.col[adj.row_ptr[t]..adj.row_ptr[t + 1]] {
                             let wv = self.nodes[w.0].value.get(k, 0);
-                            let gt = g.row(t).to_vec();
-                            let xs = self.nodes[x.0].value.row(s as usize).to_vec();
+                            let xs = self.nodes[x.0].value.row(s as usize);
                             let mut acc = 0.0f32;
-                            for ((o, gv), xv) in gx.row_mut(s as usize).iter_mut().zip(&gt).zip(&xs)
+                            for ((o, &gv), &xv) in gx.row_mut(s as usize).iter_mut().zip(gt).zip(xs)
                             {
                                 *o += wv * gv;
                                 acc += gv * xv;
@@ -716,6 +716,8 @@ impl Tape {
                     self.accumulate(logits, gx);
                 }
             }
+            // Re-insert so callers can read it afterwards.
+            self.nodes[i].grad = Some(g);
         }
     }
 

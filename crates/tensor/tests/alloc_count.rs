@@ -1,0 +1,138 @@
+//! Counts heap allocations through the hot matmul kernels with a
+//! wrapping global allocator, pinning down the payoff of the `*_into`
+//! scratch-reuse refactor: once the output buffer has been sized by a
+//! warm-up call, repeated `matmul_into` steps over the same shapes
+//! allocate nothing beyond the bounded per-call job-cut table, while
+//! each `matmul_with` call pays a fresh output buffer.
+//!
+//! The counter is process-global, so every assertion lives in one test
+//! function — Rust runs integration-test functions on separate threads
+//! and a second test would race the counter.
+
+use spp_pool::WorkerPool;
+use spp_tensor::Matrix;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with the counter armed, returning (allocations, bytes).
+fn counted<R>(f: impl FnOnce() -> R) -> (u64, u64, R) {
+    ALLOCS.store(0, Ordering::SeqCst);
+    BYTES.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    let r = f();
+    ARMED.store(false, Ordering::SeqCst);
+    (
+        ALLOCS.load(Ordering::SeqCst),
+        BYTES.load(Ordering::SeqCst),
+        r,
+    )
+}
+
+fn filled(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut m = Matrix::zeros(rows, cols);
+    let mut s = seed.wrapping_mul(2654435761).wrapping_add(1);
+    for v in m.as_flat_mut() {
+        s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+        *v = (s >> 8) as f32 / (1u32 << 24) as f32 - 0.5;
+    }
+    m
+}
+
+#[test]
+fn into_kernels_stop_allocating_after_warmup() {
+    // Serial pool: worker threads would otherwise allocate stack/queue
+    // state of their own and muddy the count.
+    let pool = WorkerPool::serial();
+    let a = filled(96, 48, 1);
+    let b = filled(48, 32, 2);
+
+    let mut out = Matrix::zeros(0, 0);
+    a.matmul_into(pool, &b, &mut out); // warm-up sizes the scratch
+    let expect = out.clone();
+
+    let (steady_allocs, steady_bytes, ()) = counted(|| {
+        for _ in 0..8 {
+            a.matmul_into(pool, &b, &mut out);
+        }
+    });
+    assert_eq!(
+        out.as_flat(),
+        expect.as_flat(),
+        "scratch reuse changed results"
+    );
+
+    let (fresh_allocs, fresh_bytes, ()) = counted(|| {
+        for _ in 0..8 {
+            let r = a.matmul_with(pool, &b);
+            assert_eq!(r.rows(), 96);
+        }
+    });
+
+    // The steady-state loop keeps only the bounded job-cut table per
+    // call (serial pool: one job), never the 96*32 output buffer.
+    let out_bytes = (96 * 32 * std::mem::size_of::<f32>()) as u64;
+    assert!(
+        fresh_bytes >= steady_bytes + 8 * out_bytes,
+        "expected *_with to pay 8 output buffers over *_into: \
+         fresh={fresh_bytes}B steady={steady_bytes}B out={out_bytes}B"
+    );
+    assert!(
+        steady_allocs <= 2 * 8,
+        "steady-state matmul_into should at most allocate the per-call \
+         job-cut table, saw {steady_allocs} allocations"
+    );
+    assert!(
+        fresh_allocs > steady_allocs,
+        "fresh={fresh_allocs} steady={steady_allocs}"
+    );
+
+    // t_matmul / matmul_t / transpose reuse the same scratch contract.
+    let mut s1 = Matrix::zeros(0, 0);
+    let mut s2 = Matrix::zeros(0, 0);
+    let mut s3 = Matrix::zeros(0, 0);
+    a.t_matmul_into(pool, &a, &mut s1);
+    a.matmul_t_into(pool, &a, &mut s2);
+    a.transpose_into(pool, &mut s3);
+    let (allocs2, _, ()) = counted(|| {
+        for _ in 0..4 {
+            a.t_matmul_into(pool, &a, &mut s1);
+            a.matmul_t_into(pool, &a, &mut s2);
+            a.transpose_into(pool, &mut s3);
+        }
+    });
+    assert!(
+        allocs2 <= 3 * 4 * 2,
+        "steady-state into-kernels should stay at the job-cut table, saw {allocs2}"
+    );
+}

@@ -1,0 +1,278 @@
+//! Committed-baseline comparison for both gates.
+//!
+//! `results/lint_baseline.json` (from `lint --json`) and
+//! `results/hotpath_baseline.json` (from `audit-hotpaths --json`) are
+//! snapshots the repo commits; CI and local runs fail when the current
+//! analysis drifts from them in either direction:
+//!
+//! - a **new** entry means an invariant regression (or a new annotated
+//!   escape that must be reviewed and re-inventoried);
+//! - a **stale** entry means the baseline documents something that no
+//!   longer fires — the snapshot lies about the code and must be
+//!   refreshed.
+//!
+//! `--refresh-baseline` rewrites the snapshot after review, replacing
+//! the manual redirect-and-commit dance.
+//!
+//! Lint entries compare exactly (file, line, rule, message) — the same
+//! sensitivity as the verbatim `diff -u` CI has always run. Hot-path
+//! entries compare *without* line numbers (roots by name/fn, escapes by
+//! file/rules/reason, stops by file/fn/reason), so unrelated edits that
+//! shift lines don't churn the baseline.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Result of comparing current output against a committed baseline.
+#[derive(Debug, PartialEq, Eq)]
+pub enum BaselineStatus {
+    /// No baseline file exists under the scanned root (e.g. fixture
+    /// trees); nothing to compare.
+    Missing,
+    /// Baseline and current output agree.
+    Clean,
+    /// Entry-level differences, human-readable.
+    Drift(Vec<String>),
+}
+
+/// Baseline path for the lint gate.
+pub fn lint_baseline_path(root: &Path) -> PathBuf {
+    root.join("results/lint_baseline.json")
+}
+
+/// Baseline path for the hot-path gate.
+pub fn hotpath_baseline_path(root: &Path) -> PathBuf {
+    root.join("results/hotpath_baseline.json")
+}
+
+/// Compares two entry multisets; reports stale (baseline-only) and new
+/// (current-only) entries under `label`.
+fn diff_multiset(label: &str, baseline: &[String], current: &[String], out: &mut Vec<String>) {
+    let mut counts: BTreeMap<&str, i64> = BTreeMap::new();
+    for b in baseline {
+        *counts.entry(b.as_str()).or_insert(0) += 1;
+    }
+    for c in current {
+        *counts.entry(c.as_str()).or_insert(0) -= 1;
+    }
+    for (entry, n) in counts {
+        use std::cmp::Ordering;
+        match n.cmp(&0) {
+            Ordering::Greater => out.push(format!("stale {label} (no longer fires): {entry}")),
+            Ordering::Less => out.push(format!("new {label} (not in baseline): {entry}")),
+            Ordering::Equal => {}
+        }
+    }
+}
+
+fn arr<'a>(doc: &'a Json, key: &str) -> Vec<&'a Json> {
+    doc.get(key)
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().collect())
+        .unwrap_or_default()
+}
+
+fn s(v: &Json, key: &str) -> String {
+    v.get(key).and_then(Json::as_str).unwrap_or("").to_string()
+}
+
+fn n(v: &Json, key: &str) -> i64 {
+    v.get(key).and_then(Json::as_num).unwrap_or(0.0) as i64
+}
+
+/// Parses a baseline file; `Ok(None)` when the file does not exist.
+fn load(path: &Path) -> Result<Option<Json>, String> {
+    if !path.is_file() {
+        return Ok(None);
+    }
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    json::parse(&src)
+        .map(Some)
+        .map_err(|e| format!("{}: not valid JSON: {e}", path.display()))
+}
+
+/// Lint entry keys: exact, including line numbers.
+fn lint_keys(doc: &Json) -> (Vec<String>, Vec<String>) {
+    let findings = arr(doc, "findings")
+        .into_iter()
+        .map(|f| {
+            format!(
+                "[{}] {}:{} {}",
+                s(f, "rule"),
+                s(f, "file"),
+                n(f, "line"),
+                s(f, "message")
+            )
+        })
+        .collect();
+    let relaxed = arr(doc, "relaxed_sites")
+        .into_iter()
+        .map(|r| {
+            format!(
+                "{}:{} relaxed({})",
+                s(r, "file"),
+                n(r, "line"),
+                s(r, "reason")
+            )
+        })
+        .collect();
+    (findings, relaxed)
+}
+
+/// Compares current `lint --json` output against the committed
+/// baseline under `root`.
+pub fn check_lint_baseline(root: &Path, current_json: &str) -> Result<BaselineStatus, String> {
+    let Some(base) = load(&lint_baseline_path(root))? else {
+        return Ok(BaselineStatus::Missing);
+    };
+    let cur = json::parse(current_json).map_err(|e| format!("current output: {e}"))?;
+    let (bf, br) = lint_keys(&base);
+    let (cf, cr) = lint_keys(&cur);
+    let mut diffs = Vec::new();
+    diff_multiset("finding", &bf, &cf, &mut diffs);
+    diff_multiset("relaxed site", &br, &cr, &mut diffs);
+    if diffs.is_empty() {
+        Ok(BaselineStatus::Clean)
+    } else {
+        Ok(BaselineStatus::Drift(diffs))
+    }
+}
+
+/// Hot-path entry keys: line-insensitive.
+fn hotpath_keys(doc: &Json) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    let roots = arr(doc, "hot_roots")
+        .into_iter()
+        .map(|r| format!("{} = {} ({})", s(r, "name"), s(r, "fn"), s(r, "file")))
+        .collect();
+    let escapes = arr(doc, "escapes")
+        .into_iter()
+        .map(|e| format!("{} [{}] {}", s(e, "file"), s(e, "rules"), s(e, "reason")))
+        .collect();
+    let stops = arr(doc, "stops")
+        .into_iter()
+        .map(|st| format!("{} {} ({})", s(st, "file"), s(st, "fn"), s(st, "reason")))
+        .collect();
+    let findings = arr(doc, "findings")
+        .into_iter()
+        .map(|f| {
+            format!(
+                "[{}] {} in {}: {}",
+                s(f, "rule"),
+                s(f, "file"),
+                s(f, "fn"),
+                s(f, "message")
+            )
+        })
+        .collect();
+    (roots, escapes, stops, findings)
+}
+
+/// Compares current `audit-hotpaths --json` output against the
+/// committed baseline under `root`.
+pub fn check_hotpath_baseline(root: &Path, current_json: &str) -> Result<BaselineStatus, String> {
+    let Some(base) = load(&hotpath_baseline_path(root))? else {
+        return Ok(BaselineStatus::Missing);
+    };
+    let cur = json::parse(current_json).map_err(|e| format!("current output: {e}"))?;
+    let (br, be, bs, bf) = hotpath_keys(&base);
+    let (cr, ce, cs, cf) = hotpath_keys(&cur);
+    let mut diffs = Vec::new();
+    diff_multiset("hot root", &br, &cr, &mut diffs);
+    diff_multiset("escape", &be, &ce, &mut diffs);
+    diff_multiset("stop", &bs, &cs, &mut diffs);
+    diff_multiset("finding", &bf, &cf, &mut diffs);
+    if diffs.is_empty() {
+        Ok(BaselineStatus::Clean)
+    } else {
+        Ok(BaselineStatus::Drift(diffs))
+    }
+}
+
+/// Writes `contents` to `path`, creating parent directories.
+pub fn refresh(path: &Path, contents: &str) -> Result<(), String> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent).map_err(|e| format!("{}: {e}", parent.display()))?;
+    }
+    std::fs::write(path, contents).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LINT_A: &str = r#"{
+  "findings": [{"rule": "l1-no-panic", "file": "a.rs", "line": 3, "message": "m"}],
+  "relaxed_sites": [{"file": "b.rs", "line": 9, "reason": "tally"}]
+}"#;
+
+    #[test]
+    fn identical_lint_docs_are_clean() {
+        let dir = std::env::temp_dir().join("spp-baseline-test-clean");
+        std::fs::create_dir_all(dir.join("results")).unwrap();
+        std::fs::write(dir.join("results/lint_baseline.json"), LINT_A).unwrap();
+        assert_eq!(
+            check_lint_baseline(&dir, LINT_A).unwrap(),
+            BaselineStatus::Clean
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_baseline_skips_comparison() {
+        let dir = std::env::temp_dir().join("spp-baseline-test-missing");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(
+            check_lint_baseline(&dir, LINT_A).unwrap(),
+            BaselineStatus::Missing
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_and_new_lint_entries_are_reported() {
+        let dir = std::env::temp_dir().join("spp-baseline-test-drift");
+        std::fs::create_dir_all(dir.join("results")).unwrap();
+        std::fs::write(dir.join("results/lint_baseline.json"), LINT_A).unwrap();
+        let current = r#"{
+  "findings": [],
+  "relaxed_sites": [
+    {"file": "b.rs", "line": 9, "reason": "tally"},
+    {"file": "c.rs", "line": 2, "reason": "fresh"}
+  ]
+}"#;
+        let BaselineStatus::Drift(diffs) = check_lint_baseline(&dir, current).unwrap() else {
+            panic!("expected drift");
+        };
+        assert!(diffs.iter().any(|d| d.contains("stale finding")));
+        assert!(diffs.iter().any(|d| d.contains("new relaxed site")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hotpath_compare_ignores_line_numbers() {
+        let dir = std::env::temp_dir().join("spp-baseline-test-hot");
+        std::fs::create_dir_all(dir.join("results")).unwrap();
+        let base = r#"{
+  "hot_roots": [{"name": "a.root", "fn": "root", "file": "a.rs", "line": 2, "reachable": 1, "max_depth": 0}],
+  "findings": [],
+  "escapes": [{"file": "a.rs", "line": 5, "rules": "h1-alloc", "reason": "amortized"}],
+  "stops": []
+}"#;
+        std::fs::write(dir.join("results/hotpath_baseline.json"), base).unwrap();
+        let moved = base.replace("\"line\": 5", "\"line\": 50");
+        assert_eq!(
+            check_hotpath_baseline(&dir, &moved).unwrap(),
+            BaselineStatus::Clean
+        );
+        let dropped = base.replace(
+            r#"{"file": "a.rs", "line": 5, "rules": "h1-alloc", "reason": "amortized"}"#,
+            "",
+        );
+        let BaselineStatus::Drift(diffs) = check_hotpath_baseline(&dir, &dropped).unwrap() else {
+            panic!("expected drift");
+        };
+        assert!(diffs.iter().any(|d| d.contains("stale escape")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

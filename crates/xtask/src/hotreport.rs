@@ -1,0 +1,313 @@
+//! Rendering and summarization for `cargo xtask audit-hotpaths`.
+//!
+//! The `--json` document is the committed baseline format
+//! (`results/hotpath_baseline.json`): hot-root inventory with
+//! reachable-set size and call-graph depth, the escape-site inventory,
+//! cold boundaries, findings, and the `unannotated_escapes` counter
+//! that benches trend (ISSUE 6). JSON is hand-rolled like
+//! [`crate::report`] — the offline workspace carries no serde.
+
+use crate::callgraph::{CallGraph, Reached};
+use crate::hotrules::HotReport;
+use crate::items::{FileItems, HOT_RULE_IDS};
+use std::collections::BTreeMap;
+
+/// One hot root with its reachability summary.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RootSummary {
+    /// Declared root name (`// spp-hot(<name>)`).
+    pub name: String,
+    /// Qualified fn name.
+    pub func: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based signature line.
+    pub line: usize,
+    /// Functions attributed to this root by the multi-source BFS
+    /// (first-reacher wins, so overlapping regions count once).
+    pub reachable: usize,
+    /// Deepest call chain attributed to this root.
+    pub max_depth: usize,
+}
+
+/// One cold boundary (`// spp-hot: stop(..)`) hit by traversal.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct StopSite {
+    pub path: String,
+    pub func: String,
+    pub reason: String,
+}
+
+/// Everything the audit produces; rendered to text or JSON.
+#[derive(Debug)]
+pub struct AuditOutput {
+    pub roots: Vec<RootSummary>,
+    pub stops: Vec<StopSite>,
+    pub reachable_functions: usize,
+    pub report: HotReport,
+    pub files_scanned: usize,
+}
+
+/// Summarizes the reachability pass per root. `root_nodes` is the set
+/// traversal actually started from (a subset of the declared roots when
+/// `--root` filters), so partial views report only what they audited.
+pub fn summarize(
+    files: &[FileItems],
+    graph: &CallGraph,
+    root_nodes: &[usize],
+    reach: &[Reached],
+    files_scanned: usize,
+    report: HotReport,
+) -> AuditOutput {
+    let mut per_root: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for r in reach {
+        let e = per_root.entry(r.root.as_str()).or_insert((0, 0));
+        e.0 += 1;
+        e.1 = e.1.max(r.depth);
+    }
+    let mut roots = Vec::new();
+    for &ri in root_nodes {
+        let n = &graph.nodes[ri];
+        let name = n.item.hot_root.clone().unwrap_or_default();
+        let (reachable, max_depth) = per_root.get(name.as_str()).copied().unwrap_or((0, 0));
+        roots.push(RootSummary {
+            name,
+            func: n.item.qual.clone(),
+            path: files[n.file].rel_path.clone(),
+            line: n.item.line,
+            reachable,
+            max_depth,
+        });
+    }
+    roots.sort();
+    let mut stops: Vec<StopSite> = reach
+        .iter()
+        .filter_map(|r| {
+            let n = &graph.nodes[r.node];
+            n.item.stop.as_ref().map(|reason| StopSite {
+                path: files[n.file].rel_path.clone(),
+                func: n.item.qual.clone(),
+                reason: reason.clone(),
+            })
+        })
+        .collect();
+    stops.sort();
+    stops.dedup();
+    AuditOutput {
+        roots,
+        stops,
+        reachable_functions: reach.len(),
+        report,
+        files_scanned,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-readable report.
+pub fn render_text(out: &AuditOutput) -> String {
+    let mut s = String::new();
+    for r in &out.roots {
+        s.push_str(&format!(
+            "root {} = {} ({}:{}): {} reachable fn(s), max depth {}\n",
+            r.name, r.func, r.path, r.line, r.reachable, r.max_depth
+        ));
+    }
+    for f in &out.report.findings {
+        let ctx = if f.func.is_empty() {
+            String::new()
+        } else {
+            format!(" in `{}` (via {})", f.func, f.root)
+        };
+        s.push_str(&format!(
+            "{}:{}: [{}]{} {}\n",
+            f.path, f.line, f.rule, ctx, f.message
+        ));
+    }
+    for e in &out.report.escapes {
+        s.push_str(&format!(
+            "{}:{}: escape [{}] {}\n",
+            e.path, e.line, e.rules, e.reason
+        ));
+    }
+    for st in &out.stops {
+        s.push_str(&format!("stop {} ({}): {}\n", st.func, st.path, st.reason));
+    }
+    s.push_str(&format!(
+        "audit-hotpaths: {} root(s), {} reachable fn(s), {} finding(s), \
+         {} escape(s), {} stop(s) in {} file(s) scanned\n",
+        out.roots.len(),
+        out.reachable_functions,
+        out.report.findings.len(),
+        out.report.escapes.len(),
+        out.stops.len(),
+        out.files_scanned
+    ));
+    s
+}
+
+/// Stable machine-readable JSON document (the baseline format).
+pub fn render_json(out: &AuditOutput) -> String {
+    let root_items: Vec<String> = out
+        .roots
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"fn\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+                 \"reachable\": {}, \"max_depth\": {}}}",
+                json_escape(&r.name),
+                json_escape(&r.func),
+                json_escape(&r.path),
+                r.line,
+                r.reachable,
+                r.max_depth
+            )
+        })
+        .collect();
+    let mut counts: BTreeMap<&str, usize> = HOT_RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    counts.insert("hot-annotation", 0);
+    for f in &out.report.findings {
+        *counts.entry(f.rule.as_str()).or_insert(0) += 1;
+    }
+    let finding_items: Vec<String> = out
+        .report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"fn\": \"{}\", \
+                 \"root\": \"{}\", \"message\": \"{}\"}}",
+                json_escape(&f.rule),
+                json_escape(&f.path),
+                f.line,
+                json_escape(&f.func),
+                json_escape(&f.root),
+                json_escape(&f.message)
+            )
+        })
+        .collect();
+    let count_items: Vec<String> = counts
+        .iter()
+        .map(|(r, n)| format!("    \"{}\": {}", json_escape(r), n))
+        .collect();
+    let escape_items: Vec<String> = out
+        .report
+        .escapes
+        .iter()
+        .map(|e| {
+            format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"rules\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(&e.path),
+                e.line,
+                json_escape(&e.rules),
+                json_escape(&e.reason)
+            )
+        })
+        .collect();
+    let stop_items: Vec<String> = out
+        .stops
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"file\": \"{}\", \"fn\": \"{}\", \"reason\": \"{}\"}}",
+                json_escape(&s.path),
+                json_escape(&s.func),
+                json_escape(&s.reason)
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"hot_roots\": [\n{}\n  ],\n  \"hot_root_count\": {},\n  \
+         \"reachable_functions\": {},\n  \"findings\": [\n{}\n  ],\n  \
+         \"counts\": {{\n{}\n  }},\n  \"escapes\": [\n{}\n  ],\n  \
+         \"stops\": [\n{}\n  ],\n  \"unannotated_escapes\": {},\n  \
+         \"files_scanned\": {}\n}}\n",
+        root_items.join(",\n"),
+        out.roots.len(),
+        out.reachable_functions,
+        finding_items.join(",\n"),
+        count_items.join(",\n"),
+        escape_items.join(",\n"),
+        stop_items.join(",\n"),
+        out.report.findings.len(),
+        out.files_scanned
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hotrules::{EscapeSite, HotFinding};
+
+    fn sample() -> AuditOutput {
+        AuditOutput {
+            roots: vec![RootSummary {
+                name: "core.hop_update".to_string(),
+                func: "hop_update".to_string(),
+                path: "crates/core/src/vip.rs".to_string(),
+                line: 7,
+                reachable: 3,
+                max_depth: 2,
+            }],
+            stops: vec![StopSite {
+                path: "crates/pool/src/lib.rs".to_string(),
+                func: "pool_metrics".to_string(),
+                reason: "one-time registration".to_string(),
+            }],
+            reachable_functions: 3,
+            report: HotReport {
+                findings: vec![HotFinding {
+                    path: "crates/a/src/lib.rs".to_string(),
+                    line: 4,
+                    rule: "h1-alloc".to_string(),
+                    func: "deep".to_string(),
+                    root: "core.hop_update".to_string(),
+                    message: "`.push(` allocates".to_string(),
+                }],
+                escapes: vec![EscapeSite {
+                    path: "crates/b/src/lib.rs".to_string(),
+                    line: 9,
+                    rules: "h1-alloc".to_string(),
+                    reason: "amortized".to_string(),
+                }],
+            },
+            files_scanned: 5,
+        }
+    }
+
+    #[test]
+    fn text_has_roots_findings_and_summary() {
+        let t = render_text(&sample());
+        assert!(t.contains("root core.hop_update = hop_update"));
+        assert!(t.contains("crates/a/src/lib.rs:4: [h1-alloc] in `deep` (via core.hop_update)"));
+        assert!(t.contains("escape [h1-alloc] amortized"));
+        assert!(t.contains("stop pool_metrics"));
+        assert!(t.contains("1 root(s), 3 reachable fn(s), 1 finding(s)"));
+    }
+
+    #[test]
+    fn json_counts_and_counters() {
+        let j = render_json(&sample());
+        assert!(j.contains("\"hot_root_count\": 1"));
+        assert!(j.contains("\"reachable_functions\": 3"));
+        assert!(j.contains("\"h1-alloc\": 1"));
+        assert!(j.contains("\"h4-float-order\": 0"));
+        assert!(j.contains("\"unannotated_escapes\": 1"));
+        assert!(j.contains("\"files_scanned\": 5"));
+        assert!(crate::json::parse(&j).is_ok());
+    }
+}

@@ -1,21 +1,33 @@
 //! `cargo xtask` — workspace maintenance commands.
 //!
 //! ```text
-//! cargo xtask lint [--json] [--root <dir>]
+//! cargo xtask lint [--json] [--root <dir>] [--refresh-baseline]
+//! cargo xtask audit-hotpaths [--json] [--root <name>] [--dir <dir>] [--refresh-baseline]
 //! cargo xtask check-interleavings [--module <m>]... [--json] [--max-schedules <n>]
 //! cargo xtask validate-trace <file> [--stages]
 //! ```
 //!
 //! `lint` runs the SALIENT++ invariant linter (rules L1–L8, see
-//! [`rules`] and DESIGN.md § "Correctness gates") over every library
-//! source in the workspace and exits nonzero on findings.
+//! [`spp_xtask::rules`] and DESIGN.md § "Correctness gates") over every
+//! library source in the workspace and exits nonzero on findings or on
+//! drift against `results/lint_baseline.json` (stale entries included);
+//! `--refresh-baseline` rewrites the snapshot.
 //!
-//! Scope: `src/**` of every `crates/*` member and `shims/*` shim plus
-//! the facade crate's `src/`, excluding binary targets (`**/bin/**`)
-//! and this xtask itself. Shim-specific deviations (emulated panics,
-//! the criterion timing loop) are justified in place with `spp-lint`
-//! pragmas. Tests, benches, and examples are exempt by construction —
-//! the invariants gate *library* hot paths.
+//! `audit-hotpaths` runs the transitive hot-path analyzer (rules
+//! H1–H4, DESIGN.md §13): it parses fn items and call sites, builds the
+//! intra-workspace call graph, and checks every function reachable from
+//! a `// spp-hot(<name>)` root for allocation, panic, blocking, and
+//! float-ordering hazards. Exits nonzero on findings or on drift
+//! against `results/hotpath_baseline.json`. `--root <name>` restricts
+//! traversal to one declared root (baseline comparison is skipped for
+//! partial views); `--dir <dir>` overrides the workspace root (fixture
+//! trees in tests).
+//!
+//! Scope for both: `src/**` of every `crates/*` member and `shims/*`
+//! shim plus the facade crate's `src/`, excluding binary targets
+//! (`**/bin/**`) and this xtask itself. Tests, benches, and examples
+//! are exempt by construction — the invariants gate *library* hot
+//! paths.
 //!
 //! `check-interleavings` rebuilds `spp-check` with
 //! `--cfg spp_model_check` (in its own target dir,
@@ -29,23 +41,11 @@
 //! additionally requires a span for every Appendix-D pipeline stage
 //! (the CI telemetry smoke job passes it).
 
-// Test modules assert by panicking; the workspace panic-family denies
-// (see [workspace.lints] in Cargo.toml) apply to library code only.
-#![cfg_attr(
-    test,
-    allow(
-        clippy::unwrap_used,
-        clippy::expect_used,
-        clippy::panic,
-        clippy::float_cmp
-    )
-)]
-
-mod json;
-mod report;
-mod rules;
-mod scan;
-
+use spp_xtask::baseline::{self, BaselineStatus};
+use spp_xtask::callgraph::CallGraph;
+use spp_xtask::items::FileItems;
+use spp_xtask::scan::SourceFile;
+use spp_xtask::{hotreport, hotrules, items, json, report, rules, scan, walk};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -53,7 +53,13 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo xtask <command>\n\
          commands:\n\
-           lint [--json] [--root <dir>]        run the workspace invariant linter\n\
+           lint [--json] [--root <dir>] [--refresh-baseline]\n\
+                                               run the workspace invariant linter and\n\
+                                               diff results/lint_baseline.json\n\
+           audit-hotpaths [--json] [--root <name>] [--dir <dir>] [--refresh-baseline]\n\
+                                               run the transitive hot-path analyzer\n\
+                                               (H1-H4) from declared spp-hot roots and\n\
+                                               diff results/hotpath_baseline.json\n\
            check-interleavings [args..]        build spp-check with --cfg spp_model_check\n\
                                                and explore the concurrency harnesses\n\
                                                (args pass through: --module <m>, --json,\n\
@@ -65,100 +71,163 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Locates the workspace root: `--root` wins, else the xtask manifest's
-/// grandparent (crates/xtask -> workspace).
-fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
-    if let Some(r) = explicit {
-        return Some(r);
-    }
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    Some(manifest.parent()?.parent()?.to_path_buf())
-}
-
-/// Recursively collects `.rs` files under `dir` into `out`.
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .collect();
-    entries.sort();
-    for path in entries {
-        if path.is_dir() {
-            collect_rs(&path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// The workspace-relative lint targets, deterministically ordered.
-fn lint_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
-    let mut files = Vec::new();
-    collect_rs(&root.join("src"), &mut files)?;
-    for group in ["crates", "shims"] {
-        let dir = root.join(group);
-        if !dir.is_dir() {
-            continue;
-        }
-        let mut members: Vec<PathBuf> = std::fs::read_dir(&dir)?
-            .filter_map(|e| e.ok().map(|e| e.path()))
-            .collect();
-        members.sort();
-        for m in members {
-            if m.file_name().is_some_and(|n| n == "xtask") {
-                continue;
+/// Reports baseline drift to stderr; returns true when the run must
+/// fail.
+fn report_drift(gate: &str, status: BaselineStatus, refresh_hint: &str) -> bool {
+    match status {
+        BaselineStatus::Missing | BaselineStatus::Clean => false,
+        BaselineStatus::Drift(diffs) => {
+            for d in &diffs {
+                eprintln!("{gate}: baseline drift: {d}");
             }
-            collect_rs(&m.join("src"), &mut files)?;
+            eprintln!(
+                "{gate}: baseline out of date ({} difference(s)); review and run \
+                 `cargo xtask {refresh_hint}` to refresh",
+                diffs.len()
+            );
+            true
         }
     }
-    files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
-    Ok(files)
 }
 
-fn run_lint(json: bool, root: Option<PathBuf>) -> ExitCode {
-    let Some(root) = workspace_root(root) else {
+fn run_lint(json_out: bool, root: Option<PathBuf>, refresh: bool) -> ExitCode {
+    let Some(root) = walk::workspace_root(root) else {
         eprintln!("spp-lint: cannot determine workspace root");
         return ExitCode::from(2);
     };
-    let targets = match lint_targets(&root) {
-        Ok(t) => t,
+    let sources = match walk::read_targets(&root) {
+        Ok(s) => s,
         Err(e) => {
-            eprintln!("spp-lint: walking {}: {e}", root.display());
+            eprintln!("spp-lint: {e}");
             return ExitCode::from(2);
         }
     };
     let mut findings = Vec::new();
     let mut relaxed = Vec::new();
-    let mut scanned = 0usize;
-    for path in &targets {
-        let src = match std::fs::read_to_string(path) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("spp-lint: reading {}: {e}", path.display());
-                return ExitCode::from(2);
-            }
-        };
-        let rel = path
-            .strip_prefix(&root)
-            .unwrap_or(path)
-            .to_string_lossy()
-            .replace('\\', "/");
-        scanned += 1;
-        let file = scan::scan_source(&rel, &src);
+    let scanned = sources.len();
+    for (rel, src) in &sources {
+        let file = scan::scan_source(rel, src);
         findings.extend(rules::check_file(&file));
         relaxed.extend(rules::relaxed_sites(&file));
     }
     findings.sort();
     relaxed.sort();
-    if json {
-        print!("{}", report::render_json(&findings, scanned, &relaxed));
+    let rendered_json = report::render_json(&findings, scanned, &relaxed);
+    if json_out {
+        print!("{rendered_json}");
     } else {
         print!("{}", report::render_text(&findings, scanned, &relaxed));
     }
-    if findings.is_empty() {
+    if refresh {
+        if let Err(e) = baseline::refresh(&baseline::lint_baseline_path(&root), &rendered_json) {
+            eprintln!("spp-lint: refreshing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "spp-lint: baseline refreshed at {}",
+            baseline::lint_baseline_path(&root).display()
+        );
+    }
+    let drift = if refresh {
+        false
+    } else {
+        match baseline::check_lint_baseline(&root, &rendered_json) {
+            Ok(status) => report_drift("spp-lint", status, "lint --refresh-baseline"),
+            Err(e) => {
+                eprintln!("spp-lint: baseline check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if findings.is_empty() && !drift {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Scans and parses the whole workspace for the hot-path analyzer.
+fn parse_workspace(root: &Path) -> Result<(Vec<SourceFile>, Vec<FileItems>), String> {
+    let sources = walk::read_targets(root)?;
+    let mut scanned = Vec::with_capacity(sources.len());
+    let mut parsed = Vec::with_capacity(sources.len());
+    for (rel, src) in &sources {
+        let sf = scan::scan_source(rel, src);
+        parsed.push(items::parse_items(&sf, src));
+        scanned.push(sf);
+    }
+    Ok((scanned, parsed))
+}
+
+fn run_audit_hotpaths(
+    json_out: bool,
+    root_filter: Option<String>,
+    dir: Option<PathBuf>,
+    refresh: bool,
+) -> ExitCode {
+    let Some(root) = walk::workspace_root(dir) else {
+        eprintln!("audit-hotpaths: cannot determine workspace root");
+        return ExitCode::from(2);
+    };
+    let (scanned, parsed) = match parse_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("audit-hotpaths: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let graph = CallGraph::build(&parsed);
+    let mut roots = graph.roots();
+    if let Some(name) = &root_filter {
+        roots.retain(|&i| graph.nodes[i].item.hot_root.as_deref() == Some(name.as_str()));
+        if roots.is_empty() {
+            eprintln!("audit-hotpaths: no hot root named `{name}`; declared roots:");
+            for i in graph.roots() {
+                if let Some(n) = &graph.nodes[i].item.hot_root {
+                    eprintln!("  {n}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    }
+    let reach = graph.reach(&roots);
+    let rep = hotrules::check_reachable(&parsed, &scanned, &graph, &reach);
+    let out = hotreport::summarize(&parsed, &graph, &roots, &reach, scanned.len(), rep);
+    let rendered_json = hotreport::render_json(&out);
+    if json_out {
+        print!("{rendered_json}");
+    } else {
+        print!("{}", hotreport::render_text(&out));
+    }
+    let clean = out.report.findings.is_empty();
+    // Partial traversals (--root) see a subset of escapes/roots, so the
+    // full-workspace baseline does not apply.
+    let drift = if root_filter.is_some() {
+        false
+    } else if refresh {
+        if let Err(e) = baseline::refresh(&baseline::hotpath_baseline_path(&root), &rendered_json) {
+            eprintln!("audit-hotpaths: refreshing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "audit-hotpaths: baseline refreshed at {}",
+            baseline::hotpath_baseline_path(&root).display()
+        );
+        false
+    } else {
+        match baseline::check_hotpath_baseline(&root, &rendered_json) {
+            Ok(status) => report_drift(
+                "audit-hotpaths",
+                status,
+                "audit-hotpaths --refresh-baseline",
+            ),
+            Err(e) => {
+                eprintln!("audit-hotpaths: baseline check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if clean && !drift {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -173,7 +242,7 @@ fn run_lint(json: bool, root: Option<PathBuf>) -> ExitCode {
 /// `RUSTFLAGS` is extended rather than replaced so caller-provided
 /// flags survive.
 fn run_check_interleavings(args: &[String]) -> ExitCode {
-    let Some(root) = workspace_root(None) else {
+    let Some(root) = walk::workspace_root(None) else {
         eprintln!("check-interleavings: cannot determine workspace root");
         return ExitCode::from(2);
     };
@@ -341,10 +410,12 @@ fn main() -> ExitCode {
         "lint" => {
             let mut json = false;
             let mut root = None;
+            let mut refresh = false;
             let mut it = args.iter().skip(1);
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--json" => json = true,
+                    "--refresh-baseline" => refresh = true,
                     "--root" => match it.next() {
                         Some(r) => root = Some(PathBuf::from(r)),
                         None => return usage(),
@@ -352,7 +423,30 @@ fn main() -> ExitCode {
                     _ => return usage(),
                 }
             }
-            run_lint(json, root)
+            run_lint(json, root, refresh)
+        }
+        "audit-hotpaths" => {
+            let mut json = false;
+            let mut root_filter = None;
+            let mut dir = None;
+            let mut refresh = false;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--refresh-baseline" => refresh = true,
+                    "--root" => match it.next() {
+                        Some(r) => root_filter = Some(r.clone()),
+                        None => return usage(),
+                    },
+                    "--dir" => match it.next() {
+                        Some(d) => dir = Some(PathBuf::from(d)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            run_audit_hotpaths(json, root_filter, dir, refresh)
         }
         "check-interleavings" => run_check_interleavings(&args[1..]),
         "validate-trace" => {

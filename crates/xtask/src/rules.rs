@@ -89,7 +89,7 @@ fn has_ident_prefix(s: &str, idx: usize) -> bool {
 /// match must not butt against identifier characters on the sides where
 /// the needle itself starts/ends with one (so `.unwrap` matches in
 /// `x.unwrap()` but not `x.unwrap_or(..)`).
-fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn token_positions(hay: &str, needle: &str) -> Vec<usize> {
     let ident_start = needle
         .chars()
         .next()
@@ -222,7 +222,10 @@ fn applies_l3(path: &str) -> bool {
 /// First collects names bound to hash collections (`x: HashMap<..>`,
 /// `x = HashMap::new()`, …), then flags `x.iter()` / `x.keys()` /
 /// `x.values()` / `x.drain(..)` / `x.into_iter()` / `for .. in [&]x`.
-fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
+/// Names bound to `HashMap`/`HashSet` values anywhere in `file`
+/// (declarations, fields, or assignments). Shared with the hot-path
+/// H4 rule, which applies the same iteration test transitively.
+pub(crate) fn hash_collection_names(file: &SourceFile) -> Vec<String> {
     let mut hash_names: Vec<String> = Vec::new();
     for line in &file.lines {
         let t = &line.cleaned;
@@ -230,7 +233,17 @@ fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
             for p in token_positions(t, ty) {
                 // Look left for `name :` or `name =` (skipping
                 // `let`/`mut`/`&`/whitespace and generics of `=`-form).
-                let before = t[..p].trim_end();
+                // Reference-typed bindings (`name: &HashMap`,
+                // `name: &mut HashMap`) strip the borrow first.
+                let mut before = t[..p].trim_end();
+                if let Some(b) = before.strip_suffix("mut") {
+                    let b = b.trim_end();
+                    if let Some(b) = b.strip_suffix('&') {
+                        before = b.trim_end();
+                    }
+                } else if let Some(b) = before.strip_suffix('&') {
+                    before = b.trim_end();
+                }
                 let before = before
                     .strip_suffix(':')
                     .or_else(|| before.strip_suffix('='))
@@ -251,35 +264,50 @@ fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
             }
         }
     }
+    hash_names
+}
+
+/// Returns the hash-collection name iterated on `t`, if any: either
+/// `name.iter()`-style adapters or a `for .. in [&|&mut ][self.]name`
+/// loop header.
+pub(crate) fn hash_iteration(t: &str, hash_names: &[String]) -> Option<String> {
     const ITERS: [&str; 5] = [".iter()", ".keys()", ".values()", ".into_iter()", ".drain("];
+    for name in hash_names {
+        for p in token_positions(t, name) {
+            let rest = &t[p + name.len()..];
+            let iterated = ITERS.iter().any(|it| rest.starts_with(it));
+            // `for .. in [&|&mut ][self.]name`
+            let mut pre = t[..p].trim_end();
+            for strip in ["self.", "&mut", "&"] {
+                pre = pre.strip_suffix(strip).unwrap_or(pre).trim_end();
+            }
+            let in_for = (pre.ends_with(" in") || pre == "in") && t.contains("for ");
+            if iterated || in_for {
+                return Some(name.clone());
+            }
+        }
+    }
+    None
+}
+
+fn check_l3(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let hash_names = hash_collection_names(file);
     for (idx, line) in file.lines.iter().enumerate() {
         if line.in_test || line.allows.contains("l3-unordered-iter") {
             continue;
         }
         let t = &line.cleaned;
-        for name in &hash_names {
-            for p in token_positions(t, name) {
-                let rest = &t[p + name.len()..];
-                let iterated = ITERS.iter().any(|it| rest.starts_with(it));
-                // `for .. in [&|&mut ][self.]name`
-                let mut pre = t[..p].trim_end();
-                for strip in ["self.", "&mut", "&"] {
-                    pre = pre.strip_suffix(strip).unwrap_or(pre).trim_end();
-                }
-                let in_for = (pre.ends_with(" in") || pre == "in") && t.contains("for ");
-                if iterated || in_for {
-                    findings.push(Finding {
-                        path: file.rel_path.clone(),
-                        line: idx + 1,
-                        rule: "l3-unordered-iter".to_string(),
-                        message: format!(
-                            "iteration over hash collection `{name}` in \
-                             ordering-sensitive code; use BTreeMap/BTreeSet \
-                             or sort explicitly so replicas rank identically"
-                        ),
-                    });
-                }
-            }
+        if let Some(name) = hash_iteration(t, &hash_names) {
+            findings.push(Finding {
+                path: file.rel_path.clone(),
+                line: idx + 1,
+                rule: "l3-unordered-iter".to_string(),
+                message: format!(
+                    "iteration over hash collection `{name}` in \
+                     ordering-sensitive code; use BTreeMap/BTreeSet \
+                     or sort explicitly so replicas rank identically"
+                ),
+            });
         }
     }
 }

@@ -1,0 +1,76 @@
+//! Workspace file discovery shared by `lint` and `audit-hotpaths`.
+
+use std::path::{Path, PathBuf};
+
+/// Locates the workspace root: `explicit` wins, else the xtask
+/// manifest's grandparent (crates/xtask -> workspace).
+pub fn workspace_root(explicit: Option<PathBuf>) -> Option<PathBuf> {
+    if let Some(r) = explicit {
+        return Some(r);
+    }
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    Some(manifest.parent()?.parent()?.to_path_buf())
+}
+
+/// Recursively collects `.rs` files under `dir` into `out`.
+pub fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace-relative analysis targets, deterministically ordered:
+/// `src/**` of every `crates/*` member and `shims/*` shim plus the
+/// facade crate's `src/`, excluding binary targets (`**/bin/**`) and
+/// the xtask itself.
+pub fn lint_targets(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    for group in ["crates", "shims"] {
+        let dir = root.join(group);
+        if !dir.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for m in members {
+            if m.file_name().is_some_and(|n| n == "xtask") {
+                continue;
+            }
+            collect_rs(&m.join("src"), &mut files)?;
+        }
+    }
+    files.retain(|p| !p.components().any(|c| c.as_os_str() == "bin"));
+    Ok(files)
+}
+
+/// Reads every target under `root` into `(rel_path, source)` pairs.
+pub fn read_targets(root: &Path) -> Result<Vec<(String, String)>, String> {
+    let targets = lint_targets(root).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    let mut out = Vec::with_capacity(targets.len());
+    for path in &targets {
+        let src = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        out.push((rel, src));
+    }
+    Ok(out)
+}

@@ -1,0 +1,33 @@
+//! Seeded-violation fixture: every hazard sits one or two calls below a
+//! declared root, so only the transitive analyzer can attribute it.
+
+/// Root whose violations are all in transitive callees.
+// spp-hot(fixture.ingest)
+pub fn ingest(xs: &[f32], out: &mut Vec<f32>) -> f32 {
+    stage_batch(xs, out)
+}
+
+fn stage_batch(xs: &[f32], out: &mut Vec<f32>) -> f32 {
+    for &x in xs {
+        grow(out, x);
+    }
+    head(xs)
+}
+
+/// Carries the seeded transitive unwrap (depth 2 below the root) and a
+/// stale escape on a line that allocates nothing.
+fn head(xs: &[f32]) -> f32 {
+    let n = xs.len(); // spp-hot: allow(h1-alloc): seeded stale annotation
+    let _ = n;
+    xs.first().copied().unwrap()
+}
+
+/// A second root so `--root` filtering has something to exclude.
+// spp-hot(fixture.flush)
+pub fn flush(m: &std::sync::Mutex<Vec<f32>>) -> usize {
+    drain_len(m)
+}
+
+fn drain_len(m: &std::sync::Mutex<Vec<f32>>) -> usize {
+    m.lock().unwrap().len()
+}

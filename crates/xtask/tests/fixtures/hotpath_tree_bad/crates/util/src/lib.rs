@@ -1,0 +1,18 @@
+//! Cross-crate leaf for the seeded-violation tree: `grow` is reached
+//! from `fixture.ingest` in crates/core via a bare-name call, proving
+//! the call graph follows workspace-wide edges.
+
+/// Appends without an allocation annotation: the seeded H1 violation,
+/// two calls below the root.
+pub fn grow(out: &mut Vec<f32>, v: f32) {
+    out.push(v);
+}
+
+/// Never called from a root: hazards here must stay invisible.
+pub fn cold_rebuild(n: usize) -> Vec<f32> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        out.push(i as f32);
+    }
+    out
+}
