@@ -31,6 +31,7 @@ fn bench_plan(c: &mut Criterion) {
             beta: 0.5,
             vip_reorder: true,
             seed: 1,
+            ..SetupConfig::default()
         },
     );
     let sampler = NodeWiseSampler::new(&setup.dataset.graph, Fanouts::new(vec![15, 10, 5]));

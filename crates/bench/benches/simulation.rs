@@ -46,6 +46,7 @@ fn bench_epoch_sim(c: &mut Criterion) {
             beta: 0.5,
             vip_reorder: true,
             seed: 1,
+            ..SetupConfig::default()
         },
     );
     let cost = CostModel::mini_calibrated();

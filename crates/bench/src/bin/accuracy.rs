@@ -89,6 +89,7 @@ fn main() {
                 beta: 0.5,
                 vip_reorder: true,
                 seed: cli.seed,
+                ..SetupConfig::default()
             },
         );
         let trainer = DistributedTrainer::new(

@@ -61,6 +61,7 @@ fn main() {
         beta: 0.5,
         vip_reorder: true,
         seed: cli.seed,
+        ..SetupConfig::default()
     };
     let bare = DistributedSetup::build(&ds, base.clone());
     let cached = DistributedSetup::build(

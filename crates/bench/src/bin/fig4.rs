@@ -81,6 +81,7 @@ fn main() {
             beta: 0.0,
             vip_reorder: true,
             seed: cli.seed,
+            ..SetupConfig::default()
         };
         let bare = DistributedSetup::build(&b.ds, base_cfg.clone());
         let cached = DistributedSetup::build(

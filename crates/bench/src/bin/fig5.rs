@@ -85,6 +85,7 @@ fn main() {
                     beta: 0.1,
                     vip_reorder: true,
                     seed: cli.seed,
+                    ..SetupConfig::default()
                 },
             );
             times.push(

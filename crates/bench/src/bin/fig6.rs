@@ -54,6 +54,7 @@ fn main() {
                     beta,
                     vip_reorder,
                     seed: cli.seed,
+                    ..SetupConfig::default()
                 },
             );
             let sim = EpochSim::new(&setup, cost, SystemSpec::pipelined(256));

@@ -91,6 +91,7 @@ fn main() {
                     beta: *beta,
                     vip_reorder: true,
                     seed: cli.seed,
+                    ..SetupConfig::default()
                 },
             );
             let time =

@@ -55,6 +55,7 @@ fn main() {
                 beta: 1.0,
                 vip_reorder: true,
                 seed: cli.seed,
+                ..SetupConfig::default()
             },
         );
         let spec = if pipelined {

@@ -70,6 +70,7 @@ fn main() {
                         beta: 0.1,
                         vip_reorder: true,
                         seed: cli.seed,
+                        ..SetupConfig::default()
                     },
                 );
                 let time = EpochSim::new(&setup, slow, SystemSpec::pipelined(*hidden))

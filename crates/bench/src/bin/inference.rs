@@ -51,6 +51,7 @@ fn main() {
                 beta: 0.5,
                 vip_reorder: true,
                 seed: cli.seed,
+                ..SetupConfig::default()
             },
         );
         // Inference covers all labeled vertices, routed to their owners.

@@ -136,6 +136,7 @@ fn main() {
             beta: 0.5,
             vip_reorder: true,
             seed: cli.seed,
+            ..SetupConfig::default()
         },
     );
     t.row(vec![

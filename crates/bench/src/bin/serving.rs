@@ -39,6 +39,7 @@
 use spp_bench::{BenchReport, Cli};
 use spp_gnn::{Arch, GnnModel};
 use spp_graph::dataset::SyntheticSpec;
+use spp_graph::QuantScheme;
 use spp_runtime::{DistributedSetup, SetupConfig, WorkerPool};
 use spp_sampler::Fanouts;
 use spp_serve::{generate_open_loop, InferenceServer, ServeConfig, ServeReport, TraceConfig};
@@ -65,13 +66,15 @@ fn check(ok: bool, what: &str) {
 }
 
 fn tier_json(r: &ServeReport) -> String {
+    let completed = r.completions.len().max(1);
     format!(
         concat!(
             "{{\"completed\": {}, \"rejected\": {}, \"throughput_rps\": {:.2}, ",
             "\"p50_latency_ms\": {:.4}, \"p99_latency_ms\": {:.4}, ",
             "\"makespan_s\": {:.6}, \"static_hit_rate\": {:.4}, ",
             "\"overlay_hit_rate\": {:.4}, \"combined_hit_rate\": {:.4}, ",
-            "\"overlay_evictions\": {}, \"bytes_fetched\": {}}}"
+            "\"overlay_evictions\": {}, \"bytes_fetched\": {}, ",
+            "\"bytes_per_request\": {:.1}}}"
         ),
         r.completions.len(),
         r.rejections.len(),
@@ -84,6 +87,7 @@ fn tier_json(r: &ServeReport) -> String {
         r.cache.combined_hit_rate(),
         r.cache.evictions,
         r.cache.bytes_fetched,
+        r.cache.bytes_fetched as f64 / completed as f64,
     )
 }
 
@@ -113,7 +117,7 @@ fn main() {
     let model = GnnModel::new(Arch::Sage, &[dim, 32, ds.num_classes], cli.seed ^ 0x6e17);
     let fanouts = Fanouts::new(FANOUTS.to_vec());
 
-    let build = |alpha: f64| {
+    let build = |alpha: f64, cache_scheme: QuantScheme| {
         DistributedSetup::build(
             &ds,
             SetupConfig {
@@ -121,21 +125,29 @@ fn main() {
                 fanouts: fanouts.clone(),
                 batch_size: 16,
                 alpha,
+                cache_scheme,
                 seed: cli.seed,
                 ..SetupConfig::default()
             },
         )
     };
     // Same partitioning/reordering (alpha only sizes the cache), so the
-    // two setups see identical vertex ids and differ only in tiering.
-    let setup_static = build(ALPHA_TOTAL);
-    let setup_half = build(ALPHA_TOTAL / 2.0);
+    // setups see identical vertex ids and differ only in tiering.
+    let setup_static = build(ALPHA_TOTAL, QuantScheme::F32);
+    let setup_half = build(ALPHA_TOTAL / 2.0, QuantScheme::F32);
+    // Equal-RAM quantized tiering: f16 rows are half the bytes, so the
+    // same byte budget as `setup_half`'s static tier pins twice the
+    // vertices (α instead of α/2), and likewise for the overlay below.
+    let setup_quant = build(ALPHA_TOTAL, QuantScheme::F16);
     let full_cache = setup_static.stores[0].cache().len();
     let half_cache = setup_half.stores[0].cache().len();
     let overlay_cap = full_cache - half_cache;
+    let quant_static = setup_quant.stores[0].cache().len();
+    let quant_overlay_cap = 2 * overlay_cap;
     println!(
         "dataset {n} vertices, dim {dim}; cache budget {full_cache} rows \
-         (static-only) vs {half_cache} static + {overlay_cap} overlay"
+         (static-only) vs {half_cache} static + {overlay_cap} overlay \
+         vs {quant_static} static + {quant_overlay_cap} overlay (f16, equal RAM)"
     );
 
     let trace = generate_open_loop(&TraceConfig {
@@ -147,27 +159,35 @@ fn main() {
         seed: cli.seed ^ 0x5eed_f00d,
     });
 
-    let serve = |setup: &DistributedSetup, overlay_capacity: usize, workers: usize| {
-        let cfg = ServeConfig {
-            max_batch_size: 16,
-            max_delay: 1e-3,
-            queue_capacity: 512,
-            overlay_capacity,
-            fanouts: fanouts.clone(),
-            seed: cli.seed,
-            pool: WorkerPool::new(workers),
-            ..ServeConfig::default()
+    let serve =
+        |setup: &DistributedSetup, overlay_capacity: usize, scheme: QuantScheme, workers: usize| {
+            let cfg = ServeConfig {
+                max_batch_size: 16,
+                max_delay: 1e-3,
+                queue_capacity: 512,
+                overlay_capacity,
+                overlay_scheme: scheme,
+                wire_scheme: scheme,
+                fanouts: fanouts.clone(),
+                seed: cli.seed,
+                pool: WorkerPool::new(workers),
+                ..ServeConfig::default()
+            };
+            InferenceServer::new(setup, &model, 0, cfg).run(&trace)
         };
-        InferenceServer::new(setup, &model, 0, cfg).run(&trace)
-    };
 
     let workers = WorkerPool::global().workers();
-    let static_only = serve(&setup_static, 0, workers);
-    let two_tier = serve(&setup_half, overlay_cap, workers);
-    let det1 = serve(&setup_half, overlay_cap, 1);
-    let det8 = serve(&setup_half, overlay_cap, 8);
+    let static_only = serve(&setup_static, 0, QuantScheme::F32, workers);
+    let two_tier = serve(&setup_half, overlay_cap, QuantScheme::F32, workers);
+    let quant_tier = serve(&setup_quant, quant_overlay_cap, QuantScheme::F16, workers);
+    let det1 = serve(&setup_half, overlay_cap, QuantScheme::F32, 1);
+    let det8 = serve(&setup_half, overlay_cap, QuantScheme::F32, 8);
 
-    for (name, r) in [("static-only", &static_only), ("two-tier", &two_tier)] {
+    for (name, r) in [
+        ("static-only", &static_only),
+        ("two-tier", &two_tier),
+        ("two-tier f16 (equal RAM)", &quant_tier),
+    ] {
         println!(
             "{name}: {} completed, {} rejected, {:.0} req/s, p50 {:.3} ms, \
              p99 {:.3} ms, hit rates static {:.3} overlay {:.3} combined {:.3}",
@@ -195,6 +215,22 @@ fn main() {
     check(
         two_tier.cache.combined_hit_rate() >= MIN_COMBINED_HIT_RATE,
         "two-tier combined hit rate clears the minimum bar",
+    );
+    // Equal-RAM quantized tiering: the f16 tiers must actually hold
+    // ~2x the entries of the f32 two-tier config for the same bytes...
+    check(
+        10 * (quant_static + quant_overlay_cap) >= 19 * (half_cache + overlay_cap),
+        "f16 tiers hold >=1.9x the entries of the f32 tiers at equal RAM",
+    );
+    // ...and convert that extra coverage into a better hit rate.
+    check(
+        quant_tier.cache.combined_hit_rate() > two_tier.cache.combined_hit_rate(),
+        "f16 equal-RAM combined hit rate beats the f32 two-tier baseline",
+    );
+    // The f16 wire halves every fetched row.
+    check(
+        quant_tier.cache.bytes_fetched < two_tier.cache.bytes_fetched,
+        "quantized serving moves fewer bytes on the wire",
     );
     // §11 determinism: classification worker count is unobservable.
     check(
@@ -229,8 +265,11 @@ fn main() {
         .field("alpha_total", format!("{ALPHA_TOTAL}"))
         .field("cache_rows_total", full_cache.to_string())
         .field("overlay_rows", overlay_cap.to_string())
+        .field("quant_static_rows", quant_static.to_string())
+        .field("quant_overlay_rows", quant_overlay_cap.to_string())
         .field("static_only", tier_json(&static_only))
-        .field("two_tier", tier_json(&two_tier));
+        .field("two_tier", tier_json(&two_tier))
+        .field("two_tier_f16_equal_ram", tier_json(&quant_tier));
     if let Some(path) = report.write() {
         println!("wrote {}", path.display());
     }

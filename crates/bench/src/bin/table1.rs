@@ -45,6 +45,7 @@ fn main() {
             beta: 0.0,
             vip_reorder: true,
             seed: cli.seed,
+            ..SetupConfig::default()
         };
         let bare = DistributedSetup::build(&ds, base_cfg.clone());
         results[0][ki] =

@@ -34,6 +34,7 @@ fn main() {
         beta: 0.1,
         vip_reorder: true,
         seed: cli.seed,
+        ..SetupConfig::default()
     };
     let bare = DistributedSetup::build(&ds, base_cfg.clone());
     let cached = DistributedSetup::build(

@@ -10,7 +10,7 @@
 
 use crate::cache::StaticCache;
 use crate::reorder::ReorderedLayout;
-use spp_graph::{FeatureMatrix, VertexId};
+use spp_graph::{FeatureMatrix, QuantScheme, QuantizedFeatures, VertexId};
 use spp_tensor::Matrix;
 
 /// Where a vertex's features live relative to one machine.
@@ -68,8 +68,10 @@ pub struct PartitionedFeatureStore {
     gpu_rows: usize,
     /// Static cache of remote features.
     cache: StaticCache,
-    /// Cached feature rows, aligned with `cache` slots.
-    cache_feats: FeatureMatrix,
+    /// Cached feature rows, aligned with `cache` slots; optionally
+    /// quantized (DESIGN.md §14) so the same RAM holds ~2× (`f16`) or
+    /// ~4× (`i8`) the entries.
+    cache_feats: QuantizedFeatures,
 }
 
 impl PartitionedFeatureStore {
@@ -91,6 +93,25 @@ impl PartitionedFeatureStore {
         beta: f64,
         cache: StaticCache,
     ) -> Self {
+        Self::build_quantized(part, layout, features, beta, cache, QuantScheme::F32)
+    }
+
+    /// [`PartitionedFeatureStore::build`] with an explicit storage
+    /// scheme for the static cache tier. `F32` reproduces the seed
+    /// behavior bit-for-bit; `F16`/`I8` store compressed rows that are
+    /// dequantized on every cached-row gather (allocation-free).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PartitionedFeatureStore::build`].
+    pub fn build_quantized(
+        part: u32,
+        layout: &ReorderedLayout,
+        features: &FeatureMatrix,
+        beta: f64,
+        cache: StaticCache,
+        cache_scheme: QuantScheme,
+    ) -> Self {
         assert_eq!(
             features.num_rows(),
             layout.num_vertices(),
@@ -106,7 +127,8 @@ impl PartitionedFeatureStore {
                 "cache must not contain local vertex {v}"
             );
         }
-        let cache_feats = features.gather(cache.members());
+        let cache_feats =
+            QuantizedFeatures::from_matrix(&features.gather(cache.members()), cache_scheme);
         Self {
             part,
             layout: layout.clone(),
@@ -130,6 +152,11 @@ impl PartitionedFeatureStore {
     /// The cache.
     pub fn cache(&self) -> &StaticCache {
         &self.cache
+    }
+
+    /// Storage scheme of the static cache tier.
+    pub fn cache_scheme(&self) -> QuantScheme {
+        self.cache_feats.scheme()
     }
 
     /// Feature dimension.
@@ -225,8 +252,8 @@ impl PartitionedFeatureStore {
                 debug_assert!(false, "planned cache hit must be cached");
                 continue;
             };
-            out.row_mut(pos as usize)
-                .copy_from_slice(self.cache_feats.row(slot));
+            self.cache_feats
+                .read_row_into(slot as usize, out.row_mut(pos as usize));
         }
         for (owner, requests) in plan.remote.iter().enumerate() {
             if requests.is_empty() {
@@ -350,5 +377,43 @@ mod tests {
         let (store, _) = fixture(0.0, &[3, 4]);
         // 3 local rows + 2 cached rows, dim 2, f32.
         assert_eq!(store.memory_bytes(), (3 + 2) * 2 * 4);
+    }
+
+    #[test]
+    fn quantized_cache_tier_halves_cache_bytes_and_stays_close() {
+        let part = Partitioning::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let layout = ReorderedLayout::build(&part, None);
+        let mut feats = FeatureMatrix::zeros(6, 2);
+        for v in 0..6u32 {
+            feats
+                .row_mut(v)
+                .copy_from_slice(&[v as f32 / 3.0, -(v as f32) / 7.0]);
+        }
+        let cache = StaticCache::from_members(&[3, 4]);
+        let f32_store = PartitionedFeatureStore::build(0, &layout, &feats, 0.0, cache.clone());
+        let f16_store = PartitionedFeatureStore::build_quantized(
+            0,
+            &layout,
+            &feats,
+            0.0,
+            cache,
+            QuantScheme::F16,
+        );
+        assert_eq!(f16_store.cache_scheme(), QuantScheme::F16);
+        assert_eq!(f32_store.cache_scheme(), QuantScheme::F32);
+        // Cache tier bytes halve; local rows are unchanged.
+        assert_eq!(
+            f16_store.memory_bytes(),
+            f32_store.memory_bytes() - 2 * 2 * 2
+        );
+        // Gathered cached rows agree within the f16 error bound.
+        let nodes = vec![3, 4];
+        let exact = f32_store.gather(&nodes, |_, _| panic!("no fetch"));
+        let lossy = f16_store.gather(&nodes, |_, _| panic!("no fetch"));
+        for i in 0..2 {
+            for (a, b) in exact.row(i).iter().zip(lossy.row(i)) {
+                assert!((a - b).abs() <= a.abs().max(1.0) * 2.0f32.powi(-11));
+            }
+        }
     }
 }

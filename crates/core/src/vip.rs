@@ -334,24 +334,54 @@ fn inv_degrees(graph: &CsrGraph) -> Vec<f64> {
         .collect()
 }
 
+/// Lane width of the blocked [`hop_update`] kernel (DESIGN.md §14).
+const HOP_LANES: usize = 8;
+
 /// The shared inner kernel of Proposition 1's recurrence: one vertex's
 /// next-hop inclusion probability from its out-neighborhood. Every sweep
 /// (serial, dense-parallel, frontier-sparse) evaluates exactly this
 /// function, which is what makes them bit-identical.
+///
+/// Blocked evaluation: neighbors are processed in 8-lane chunks. Each
+/// chunk gathers its `x = min(1, f/d(v)) · p(v)` terms branch-free into
+/// a lane buffer (a `p(v) ≤ 0` neighbor becomes an exact-zero term,
+/// `ln_1p(-0) = -0`, a no-op on the accumulator — replacing the seed's
+/// skip branch), checks saturation for the whole chunk (`x ≥ 1` means
+/// the miss probability is exactly zero, so the result is exactly `1.0`
+/// — same value the seed's early `-inf` break produced), then spreads
+/// the `ln_1p` terms over two alternating accumulators to break the
+/// serial FP dependency chain. The accumulation order (even lanes,
+/// odd lanes, fixed combine, tail ascending) is a pure function of the
+/// neighbor list — bit-identical for any worker count, because pool
+/// chunking only splits *vertices*, never one vertex's neighbor list.
 // spp-hot(core.hop_update)
 #[inline]
 fn hop_update(graph: &CsrGraph, inv_deg: &[f64], prev: &[f64], f: f64, u: VertexId) -> f64 {
-    let mut log_miss = 0.0f64;
-    for &v in graph.neighbors(u) {
-        let pv = prev[v as usize];
-        if pv <= 0.0 {
-            continue;
+    let neighbors = graph.neighbors(u);
+    let chunks = neighbors.chunks_exact(HOP_LANES);
+    let tail = chunks.remainder();
+    let mut acc = [0.0f64; 2];
+    for c8 in chunks {
+        let mut x = [0.0f64; HOP_LANES];
+        for (l, &v) in c8.iter().enumerate() {
+            let pv = prev[v as usize];
+            let t = (f * inv_deg[v as usize]).min(1.0);
+            x[l] = (t * pv).max(0.0);
         }
+        if x.iter().any(|&xi| xi >= 1.0) {
+            return 1.0;
+        }
+        for (l, &xi) in x.iter().enumerate() {
+            acc[l & 1] += (-xi).ln_1p();
+        }
+    }
+    let mut log_miss = acc[0] + acc[1];
+    for &v in tail {
+        let pv = prev[v as usize];
         let t = (f * inv_deg[v as usize]).min(1.0);
-        let x = t * pv;
+        let x = (t * pv).max(0.0);
         if x >= 1.0 {
-            log_miss = f64::NEG_INFINITY;
-            break;
+            return 1.0;
         }
         log_miss += (-x).ln_1p();
     }

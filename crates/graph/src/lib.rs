@@ -39,6 +39,7 @@ pub mod dataset;
 pub mod generate;
 pub mod io;
 pub mod perm;
+pub mod quant;
 pub mod stats;
 
 pub use builder::GraphBuilder;
@@ -46,6 +47,7 @@ pub use csr::CsrGraph;
 pub use dataset::{Dataset, FeatureMatrix, Split, SplitKind};
 pub use io::{GraphIoError, LoadError};
 pub use perm::Permutation;
+pub use quant::{QuantScheme, QuantizedFeatures};
 
 /// Vertex identifier. `u32` suffices for the scaled-down benchmark graphs
 /// while halving index memory relative to `usize`.

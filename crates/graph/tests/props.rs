@@ -150,3 +150,76 @@ proptest! {
         std::fs::remove_file(&path).ok();
     }
 }
+
+// ---------------------------------------------------------------------
+// Quantized feature storage (DESIGN.md §14)
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// f32 -> f16 -> f32 stays within half a ULP of the f16 grid:
+    /// relative error <= 2^-11 for normals, absolute error <= 2^-25
+    /// inside the subnormal range, and saturation only past f16::MAX.
+    #[test]
+    fn f16_round_trip_error_bounds(v in -70000.0f32..70000.0) {
+        use spp_graph::quant::{f16_bits_to_f32, f32_to_f16_bits};
+        let rt = f16_bits_to_f32(f32_to_f16_bits(v));
+        if v.abs() >= 65520.0 {
+            // Beyond the f16 overflow threshold: rounds to infinity.
+            prop_assert!(rt.is_infinite() && rt.signum() == v.signum());
+        } else if v.abs() >= 6.104e-5 {
+            prop_assert!(((rt - v) / v).abs() <= 2.0f32.powi(-11), "v={v} rt={rt}");
+        } else {
+            prop_assert!((rt - v).abs() <= 2.0f32.powi(-25), "v={v} rt={rt}");
+        }
+    }
+
+    /// The i8 affine codec inverts to within half a quantization step
+    /// of the row's own (min, scale) codebook.
+    #[test]
+    fn i8_round_trip_within_half_step(
+        row in prop::collection::vec(-100.0f32..100.0, 1..96),
+    ) {
+        use spp_graph::{QuantScheme, QuantizedFeatures};
+        let dim = row.len();
+        let mut q = QuantizedFeatures::with_rows(1, dim, QuantScheme::I8);
+        q.set_row(0, &row);
+        let mut back = vec![0.0f32; dim];
+        q.read_row_into(0, &mut back);
+        let lo = row.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        // Half a step plus FP slack from the decode multiply-add.
+        let tol = (hi - lo) / 255.0 * 0.5001 + (hi - lo).abs() * 1e-6 + 1e-6;
+        for (a, b) in row.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= tol, "{a} vs {b} (tol {tol})");
+        }
+    }
+
+    /// Encoding is deterministic and set_row slots are independent.
+    #[test]
+    fn quantized_rows_are_independent_and_deterministic(
+        rows in prop::collection::vec(
+            prop::collection::vec(-50.0f32..50.0, 8), 1..12),
+        scheme_idx in 0usize..3,
+    ) {
+        use spp_graph::{QuantScheme, QuantizedFeatures};
+        let scheme = [QuantScheme::F32, QuantScheme::F16, QuantScheme::I8][scheme_idx];
+        let n = rows.len();
+        let mut q = QuantizedFeatures::with_rows(n, 8, scheme);
+        // Write in reverse order; reads must still match a fresh
+        // forward-order encoding row for row.
+        for (i, r) in rows.iter().enumerate().rev() {
+            q.set_row(i, r);
+        }
+        let mut q2 = QuantizedFeatures::with_rows(n, 8, scheme);
+        for (i, r) in rows.iter().enumerate() {
+            q2.set_row(i, r);
+        }
+        let mut a = vec![0.0f32; 8];
+        let mut b = vec![0.0f32; 8];
+        for i in 0..n {
+            q.read_row_into(i, &mut a);
+            q2.read_row_into(i, &mut b);
+            prop_assert_eq!(&a, &b, "row {} diverged", i);
+        }
+    }
+}

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use spp_comm::{run_machines, AllToAll};
 use spp_gnn::metrics::{predictions, AccuracyMeter};
 use spp_gnn::{Arch, GnnModel, MODEL_STREAM_SALT};
-use spp_graph::{FeatureMatrix, VertexId};
+use spp_graph::{quant, FeatureMatrix, QuantScheme, VertexId};
 use spp_sampler::{batch_stream_seed, Mfg, MinibatchIter, NodeWiseSampler};
 use spp_telemetry::metrics::{self, Counter};
 use spp_tensor::{Adam, Matrix, Optimizer};
@@ -46,6 +46,11 @@ pub struct DistTrainConfig {
     pub epochs: usize,
     /// Model init / sampling seed.
     pub seed: u64,
+    /// Precision of feature rows on the wire. Non-`F32` schemes shrink
+    /// the per-pair comm counters and round every served remote row
+    /// through the codec before the forward pass — the same rows on
+    /// every machine, so replicas stay bit-identical to each other.
+    pub wire_scheme: QuantScheme,
 }
 
 impl Default for DistTrainConfig {
@@ -56,6 +61,7 @@ impl Default for DistTrainConfig {
             lr: 0.005,
             epochs: 5,
             seed: 0,
+            wire_scheme: QuantScheme::F32,
         }
     }
 }
@@ -202,9 +208,21 @@ impl<'a> DistributedTrainer<'a> {
                         .enumerate()
                         .map(|(requester, msg)| match msg {
                             Payload::Ids(ids) => {
-                                let f = setup.stores[rank].serve(&ids);
+                                let mut f = setup.stores[rank].serve(&ids);
+                                // Encode/decode at the owner: every
+                                // requester receives identical decoded
+                                // rows, keeping replicas in lockstep.
+                                if cfg.wire_scheme != QuantScheme::F32 {
+                                    for r in 0..f.num_rows() {
+                                        quant::wire_roundtrip(
+                                            f.row_mut(r as VertexId),
+                                            cfg.wire_scheme,
+                                        );
+                                    }
+                                }
                                 if let Some(cc) = comm_counters {
-                                    cc[rank][requester].add(4 * (f.num_rows() * f.dim()) as u64);
+                                    let row_bytes = cfg.wire_scheme.row_bytes(f.dim());
+                                    cc[rank][requester].add((f.num_rows() * row_bytes) as u64);
                                 }
                                 Payload::Feats(f)
                             }
@@ -432,6 +450,7 @@ mod tests {
                 beta: 0.5,
                 vip_reorder: true,
                 seed: 12,
+                ..SetupConfig::default()
             },
         )
     }

@@ -420,6 +420,7 @@ mod tests {
                 beta: 0.5,
                 vip_reorder: true,
                 seed: 5,
+                ..SetupConfig::default()
             },
         )
     }

@@ -2,7 +2,7 @@
 
 use spp_core::policies::{CachePolicy, PolicyContext};
 use spp_core::{CacheBuilder, PartitionedFeatureStore, ReorderedLayout, VipModel};
-use spp_graph::{Dataset, VertexId};
+use spp_graph::{Dataset, QuantScheme, VertexId};
 use spp_partition::multilevel::MultilevelPartitioner;
 use spp_partition::{Partitioning, VertexWeights};
 use spp_sampler::Fanouts;
@@ -22,6 +22,11 @@ pub struct SetupConfig {
     pub alpha: f64,
     /// Fraction β of each machine's local features kept on GPU.
     pub beta: f64,
+    /// Storage precision of the static cache tier. Quantized schemes
+    /// roughly double (`F16`) or quadruple (`I8`) the vertices cached
+    /// per byte at a bounded per-element error; local partition rows
+    /// stay full precision.
+    pub cache_scheme: QuantScheme,
     /// Order local vertices by VIP (true) or keep input order within each
     /// partition (false, Figure 6's "no reorder").
     pub vip_reorder: bool,
@@ -38,6 +43,7 @@ impl Default for SetupConfig {
             policy: CachePolicy::VipAnalytic,
             alpha: 0.16,
             beta: 1.0,
+            cache_scheme: QuantScheme::F32,
             vip_reorder: true,
             seed: 0,
         }
@@ -169,7 +175,14 @@ impl DistributedSetup {
                 let mut ranking = rankings[p as usize].clone();
                 layout.perm().relabel(&mut ranking);
                 let cache = cache_builder.build(&ranking);
-                PartitionedFeatureStore::build(p, &layout, &dataset.features, config.beta, cache)
+                PartitionedFeatureStore::build_quantized(
+                    p,
+                    &layout,
+                    &dataset.features,
+                    config.beta,
+                    cache,
+                    config.cache_scheme,
+                )
             })
             .collect();
 

@@ -485,6 +485,7 @@ mod tests {
             beta: 1.0,
             vip_reorder: true,
             seed: 9,
+            ..SetupConfig::default()
         }
     }
 

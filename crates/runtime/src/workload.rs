@@ -126,6 +126,7 @@ mod tests {
                 beta: 0.5,
                 vip_reorder: true,
                 seed: 2,
+                ..SetupConfig::default()
             },
         )
     }

@@ -15,7 +15,7 @@
 //! control thread in deterministic batch order. Eviction order is
 //! therefore a pure function of the operation sequence, never of timing.
 
-use spp_graph::{FeatureMatrix, VertexId};
+use spp_graph::{QuantScheme, QuantizedFeatures, VertexId};
 use spp_sync::AtomicU64;
 use std::collections::HashMap;
 
@@ -62,8 +62,10 @@ pub struct DynamicOverlay {
     slot_of: HashMap<VertexId, u32>,
     /// Slot -> vertex for occupied slots.
     vertex_of: Vec<VertexId>,
-    /// Feature rows, aligned with slots (capacity × dim).
-    feats: FeatureMatrix,
+    /// Feature rows, aligned with slots (capacity × dim); optionally
+    /// quantized (DESIGN.md §14) so equal RAM holds ~2× (`f16`) or ~4×
+    /// (`i8`) the rows.
+    feats: QuantizedFeatures,
     /// Intrusive MRU..LRU list over slots.
     prev: Vec<u32>,
     next: Vec<u32>,
@@ -79,11 +81,20 @@ impl DynamicOverlay {
     /// An overlay holding up to `capacity` rows of dimension `dim`.
     /// Capacity zero disables the tier (probes always miss).
     pub fn new(capacity: usize, dim: usize) -> Self {
+        Self::with_scheme(capacity, dim, QuantScheme::F32)
+    }
+
+    /// [`DynamicOverlay::new`] with an explicit row storage scheme.
+    /// `F32` reproduces the seed behavior bit-for-bit; `F16`/`I8` rows
+    /// are encoded on insert and decoded on read. Recency, eviction
+    /// order, and counters are storage-independent, so a quantized
+    /// overlay keeps the deterministic-eviction contract unchanged.
+    pub fn with_scheme(capacity: usize, dim: usize, scheme: QuantScheme) -> Self {
         Self {
             capacity,
             slot_of: HashMap::with_capacity(capacity),
             vertex_of: Vec::with_capacity(capacity),
-            feats: FeatureMatrix::zeros(capacity, dim),
+            feats: QuantizedFeatures::with_rows(capacity, dim, scheme),
             prev: Vec::with_capacity(capacity),
             next: Vec::with_capacity(capacity),
             head: NONE,
@@ -140,9 +151,34 @@ impl DynamicOverlay {
         self.slot_of.get(&v).copied()
     }
 
-    /// The cached feature row in `slot`.
-    pub fn row(&self, slot: u32) -> &[f32] {
-        self.feats.row(slot)
+    /// Row storage scheme.
+    pub fn scheme(&self) -> QuantScheme {
+        self.feats.scheme()
+    }
+
+    /// Feature bytes the row storage occupies (codes plus codebook).
+    pub fn memory_bytes(&self) -> usize {
+        self.feats.memory_bytes()
+    }
+
+    /// Decodes the cached feature row in `slot` into `out`
+    /// (allocation-free; a plain row copy under the `F32` scheme).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` has the wrong dimension.
+    pub fn read_row_into(&self, slot: u32, out: &mut [f32]) {
+        self.feats.read_row_into(slot as usize, out);
+    }
+
+    /// The cached feature row in `slot`, decoded into a fresh buffer
+    /// (test/debug convenience; hot paths use
+    /// [`DynamicOverlay::read_row_into`]).
+    // spp-hot: stop(test/debug convenience; serving decodes via read_row_into, linked to hot gathers only by name overlap with the matrix `row` accessors)
+    pub fn row(&self, slot: u32) -> Vec<f32> {
+        let mut out = vec![0.0; self.feats.dim()];
+        self.feats.read_row_into(slot as usize, &mut out);
+        out
     }
 
     /// Marks `v` most-recently-used (no-op if absent).
@@ -188,7 +224,7 @@ impl DynamicOverlay {
             (slot, InsertOutcome::Evicted(old))
         };
         self.slot_of.insert(v, slot);
-        self.feats.row_mut(slot).copy_from_slice(row);
+        self.feats.set_row(slot as usize, row);
         self.push_front(slot);
         self.insertions += 1;
         outcome
@@ -313,6 +349,33 @@ mod tests {
         assert!(o.peek(5).is_some());
         assert!(o.peek(6).is_none());
         assert_eq!(o.counters().lookups(), 0);
+    }
+
+    #[test]
+    fn quantized_overlay_evicts_identically_and_rows_stay_close() {
+        // Same operation sequence on f32 and f16 overlays: recency and
+        // eviction decisions must be identical (storage-independent);
+        // row payloads agree within the f16 error bound.
+        let ops: Vec<VertexId> = vec![1, 2, 3, 1, 4, 2, 5, 3, 1, 6];
+        let mut exact = DynamicOverlay::new(3, 4);
+        let mut lossy = DynamicOverlay::with_scheme(3, 4, QuantScheme::F16);
+        assert_eq!(lossy.scheme(), QuantScheme::F16);
+        assert_eq!(lossy.memory_bytes(), exact.memory_bytes() / 2);
+        for &v in &ops {
+            let payload: Vec<f32> = (0..4).map(|i| v as f32 / 3.0 + i as f32 / 7.0).collect();
+            let a = exact.insert(v, &payload);
+            let b = lossy.insert(v, &payload);
+            assert_eq!(a, b, "outcome diverged at v={v}");
+        }
+        assert_eq!(exact.members_mru_order(), lossy.members_mru_order());
+        assert_eq!(exact.counters().evictions, lossy.counters().evictions);
+        for &v in &exact.members_mru_order() {
+            let ra = exact.row(exact.peek(v).unwrap());
+            let rb = lossy.row(lossy.peek(v).unwrap());
+            for (a, b) in ra.iter().zip(&rb) {
+                assert!((a - b).abs() <= a.abs().max(1.0) * 2.0f32.powi(-11));
+            }
+        }
     }
 
     #[test]

@@ -30,7 +30,7 @@ use rand::SeedableRng;
 use spp_comm::{DesEngine, ResourceId};
 use spp_core::{PartitionedFeatureStore, ReorderedLayout, StaticCache};
 use spp_gnn::GnnModel;
-use spp_graph::{FeatureMatrix, VertexId};
+use spp_graph::{quant, FeatureMatrix, QuantScheme, VertexId};
 use spp_pool::WorkerPool;
 use spp_runtime::{CostModel, DistributedSetup};
 use spp_sampler::{batch_stream_seed, Fanouts, NodeWiseSampler};
@@ -50,6 +50,13 @@ pub struct ServeConfig {
     pub queue_capacity: usize,
     /// Dynamic LRU overlay capacity in feature rows (0 disables the tier).
     pub overlay_capacity: usize,
+    /// Storage precision of the dynamic overlay tier. Quantized schemes
+    /// hold more rows per byte at a bounded per-element error.
+    pub overlay_scheme: QuantScheme,
+    /// Precision of feature rows on the wire. Non-`F32` schemes shrink
+    /// `bytes_fetched` (and the DES network leg) and round fetched rows
+    /// through the codec before use.
+    pub wire_scheme: QuantScheme,
     /// Inference sampling fanouts (length must match the model depth).
     pub fanouts: Fanouts,
     /// Master seed for per-batch sampling streams.
@@ -67,6 +74,8 @@ impl Default for ServeConfig {
             max_delay: 0.02,
             queue_capacity: 256,
             overlay_capacity: 0,
+            overlay_scheme: QuantScheme::F32,
+            wire_scheme: QuantScheme::F32,
             fanouts: Fanouts::new(vec![10, 5]),
             seed: 0,
             pool: WorkerPool::global(),
@@ -406,7 +415,11 @@ impl<'a> InferenceServer<'a> {
             model,
             store,
             peers: &setup.stores,
-            overlay: DynamicOverlay::new(cfg.overlay_capacity, store.dim()),
+            overlay: DynamicOverlay::with_scheme(
+                cfg.overlay_capacity,
+                store.dim(),
+                cfg.overlay_scheme,
+            ),
             sampler: NodeWiseSampler::new(&setup.dataset.graph, cfg.fanouts.clone()),
             queue: AdmissionQueue::new(cfg.queue_capacity, num_vertices),
             batcher: MicroBatcher::new(policy),
@@ -640,13 +653,14 @@ impl<'a> InferenceServer<'a> {
         let store = self.store;
         let peers = self.peers;
         let overlay = &self.overlay;
+        let wire = self.cfg.wire_scheme;
         let mut to_admit: Vec<(VertexId, Vec<f32>)> = Vec::new();
         let x = store.gather(&mfg.nodes, |owner, ids| {
             let mut m = FeatureMatrix::zeros(ids.len(), dim);
             let mut need: Vec<(usize, VertexId)> = Vec::new();
             for (i, &v) in ids.iter().enumerate() {
                 if let Some(slot) = overlay.peek(v) {
-                    m.row_mut(i as u32).copy_from_slice(overlay.row(slot));
+                    overlay.read_row_into(slot, m.row_mut(i as u32));
                 } else {
                     need.push((i, v));
                 }
@@ -655,9 +669,13 @@ impl<'a> InferenceServer<'a> {
                 let req_ids: Vec<VertexId> = need.iter().map(|&(_, v)| v).collect();
                 let served = peers[owner as usize].serve(&req_ids);
                 for (r, &(i, v)) in need.iter().enumerate() {
-                    let row = served.row(r as VertexId);
-                    m.row_mut(i as u32).copy_from_slice(row);
-                    to_admit.push((v, row.to_vec()));
+                    let out = m.row_mut(i as u32);
+                    out.copy_from_slice(served.row(r as VertexId));
+                    // The wire codec is applied at the requester: the row
+                    // the model (and the overlay admission) sees is what
+                    // survived the quantized transfer.
+                    quant::wire_roundtrip(out, wire);
+                    to_admit.push((v, out.to_vec()));
                 }
             }
             m
@@ -671,7 +689,8 @@ impl<'a> InferenceServer<'a> {
         // close time) → remote fetch (NIC) → slice + host-to-device copy
         // (copy engine) → forward (GPU). Serial DES resources pipeline
         // consecutive batches exactly like the training simulator.
-        let bytes = (n_fetch * dim * 4) as f64;
+        let wire_row_bytes = self.cfg.wire_scheme.row_bytes(dim);
+        let bytes = (n_fetch * wire_row_bytes) as f64;
         // Rows staged through host RAM before the device copy: CPU-resident
         // locals, overlay rows (host memory), and freshly fetched rows.
         // Static-tier and GPU-resident rows are already on device.
@@ -735,7 +754,7 @@ impl<'a> InferenceServer<'a> {
         // Accounting.
         self.local += n_local as u64;
         self.static_hits += n_static as u64;
-        self.bytes_fetched += (n_fetch * dim * 4) as u64;
+        self.bytes_fetched += (n_fetch * wire_row_bytes) as u64;
         self.batches.push(BatchRecord {
             id: batch.id,
             size: batch.requests.len(),

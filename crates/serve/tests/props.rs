@@ -12,13 +12,15 @@
 )]
 
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use spp_core::StaticCache;
 use spp_gnn::{Arch, GnnModel};
 use spp_graph::dataset::SyntheticSpec;
-use spp_graph::{Dataset, VertexId};
+use spp_graph::{quant, Dataset, QuantScheme, VertexId};
 use spp_pool::WorkerPool;
 use spp_runtime::{DistributedSetup, SetupConfig};
-use spp_sampler::Fanouts;
+use spp_sampler::{Fanouts, NodeWiseSampler};
 use spp_serve::{
     generate_open_loop, DynamicOverlay, InferenceServer, InsertOutcome, RejectReason, ServeConfig,
     ServeReport, TraceConfig,
@@ -60,6 +62,68 @@ proptest! {
         }
         let c = overlay.counters();
         prop_assert_eq!(c.hits + c.misses, c.lookups());
+    }
+
+    /// Quantized features can only flip a classification when the f32
+    /// logit margin is smaller than twice the worst per-logit
+    /// perturbation the quantization induced — a margin above that bound
+    /// guarantees the argmax is unchanged. Checked end-to-end through
+    /// the GNN forward pass for both `F16` and `I8` input codecs.
+    #[test]
+    fn quantization_below_logit_margin_never_flips_classification(
+        seed in 0u64..64,
+        scheme_i8 in any::<bool>(),
+    ) {
+        let scheme = if scheme_i8 { QuantScheme::I8 } else { QuantScheme::F16 };
+        let ds = SyntheticSpec::new("quant-margin", 200, 6.0, 6, 3)
+            .split_fractions(0.3, 0.1, 0.1)
+            .seed(seed)
+            .build();
+        let model = GnnModel::new(Arch::Sage, &[6, 12, 3], seed ^ 0xabc);
+        let sampler = NodeWiseSampler::new(&ds.graph, Fanouts::new(vec![4, 3]));
+        let seeds: Vec<VertexId> = (0..8).map(|i| (i * 23) % 200).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mfg = sampler.sample(&seeds, &mut rng);
+
+        let dim = ds.features.dim();
+        let mut exact = spp_tensor::Matrix::zeros(mfg.nodes.len(), dim);
+        for (i, &v) in mfg.nodes.iter().enumerate() {
+            exact.row_mut(i).copy_from_slice(ds.features.row(v));
+        }
+        let mut coded = exact.clone();
+        for i in 0..mfg.nodes.len() {
+            quant::wire_roundtrip(coded.row_mut(i), scheme);
+        }
+
+        let logits_exact = model.infer(exact, &mfg);
+        let logits_coded = model.infer(coded, &mfg);
+        for r in 0..seeds.len() {
+            let le = logits_exact.row(r);
+            let lc = logits_coded.row(r);
+            let worst = le
+                .iter()
+                .zip(lc)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            let mut sorted = le.to_vec();
+            sorted.sort_by(|a, b| b.total_cmp(a));
+            let margin = sorted[0] - sorted[1];
+            let argmax = |row: &[f32]| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.total_cmp(b.1))
+                    .map(|(i, _)| i)
+            };
+            if margin > 2.0 * worst {
+                prop_assert_eq!(
+                    argmax(le),
+                    argmax(lc),
+                    "margin {} > 2*{} yet label flipped",
+                    margin,
+                    worst
+                );
+            }
+        }
     }
 
     /// Replaying the same operation sequence twice yields the same
@@ -183,6 +247,69 @@ fn serving_is_bit_identical_across_worker_counts() {
     let c = one.cache;
     assert_eq!(c.static_hits + c.overlay_hits + c.misses, c.lookups);
     assert!(c.overlay_hits > 0, "skewed trace must warm the overlay");
+}
+
+/// Quantized overlay + wire tiers change row *contents*, never tier
+/// membership: classification against the tiers, batch composition,
+/// and eviction order are driven by vertex ids alone, so cache
+/// accounting is identical to the f32 run while `bytes_fetched` is
+/// exactly halved (f16) and labels stay overwhelmingly stable.
+#[test]
+fn quantized_tiers_halve_wire_bytes_without_touching_cache_accounting() {
+    let (ds, model) = fixture();
+    let setup = deployment(&ds);
+    let run = |scheme: QuantScheme| {
+        let cfg = ServeConfig {
+            max_batch_size: 8,
+            max_delay: 0.01,
+            queue_capacity: 256,
+            overlay_capacity: 24,
+            overlay_scheme: scheme,
+            wire_scheme: scheme,
+            fanouts: Fanouts::new(vec![4, 3]),
+            seed: 3,
+            pool: WorkerPool::new(2),
+            ..ServeConfig::default()
+        };
+        let trace = generate_open_loop(&TraceConfig {
+            num_requests: 300,
+            num_vertices: 400,
+            arrival_rate: 2000.0,
+            skew: 3.0,
+            burstiness: 0.3,
+            seed: 17,
+        });
+        InferenceServer::new(&setup, &model, 0, cfg).run(&trace)
+    };
+    let full = run(QuantScheme::F32);
+    let half = run(QuantScheme::F16);
+    // Same lookups, hits, misses, evictions, insertions — only bytes move.
+    assert_eq!(full.cache.lookups, half.cache.lookups);
+    assert_eq!(full.cache.static_hits, half.cache.static_hits);
+    assert_eq!(full.cache.overlay_hits, half.cache.overlay_hits);
+    assert_eq!(full.cache.misses, half.cache.misses);
+    assert_eq!(full.cache.evictions, half.cache.evictions);
+    assert_eq!(full.cache.insertions, half.cache.insertions);
+    assert!(full.cache.bytes_fetched > 0, "trace must fetch remotely");
+    assert_eq!(full.cache.bytes_fetched, 2 * half.cache.bytes_fetched);
+    // Batch composition is id-driven and identical.
+    assert_eq!(full.batches.len(), half.batches.len());
+    for (a, b) in full.batches.iter().zip(&half.batches) {
+        assert_eq!((a.id, a.size, a.mfg_nodes), (b.id, b.size, b.mfg_nodes));
+    }
+    // f16 keeps ~11 bits of mantissa; almost every label survives.
+    assert_eq!(full.completions.len(), half.completions.len());
+    let agree = full
+        .completions
+        .iter()
+        .zip(&half.completions)
+        .filter(|(a, b)| a.label == b.label)
+        .count();
+    assert!(
+        agree * 10 >= full.completions.len() * 9,
+        "only {agree}/{} labels survived f16 quantization",
+        full.completions.len()
+    );
 }
 
 /// Backpressure: with a tight queue bound every request still gets an

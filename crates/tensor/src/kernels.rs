@@ -1,0 +1,578 @@
+//! Cache-blocked, autovectorizer-friendly inner product kernels.
+//!
+//! Every kernel here follows the same determinism discipline as the rest
+//! of the workspace (DESIGN.md §9 and §14): the blocking scheme is a
+//! *pure function of the operand shapes*, and each output element is
+//! accumulated into a single accumulator in a fixed index order (`k`
+//! ascending for `matmul`, `r` ascending for `t_matmul`, lane-partitioned
+//! with a fixed reduction tree for `matmul_t`). Worker-pool chunking
+//! splits these kernels along output rows/columns only, which never
+//! changes any element's accumulation order — so results are
+//! bit-identical for any worker count.
+//!
+//! The register tiles are plain `[f32; 8]` arrays sized so LLVM's
+//! autovectorizer lowers the inner loops to 8-lane SIMD (one vector
+//! register per accumulator on SSE2/NEON, half a register on AVX2) with
+//! a scalar tail; no target-specific intrinsics are used. Every
+//! accumulation step goes through [`fmadd`], which compiles to a fused
+//! multiply-add on targets with hardware FMA (see `.cargo/config.toml`)
+//! and to mul-then-add elsewhere — the choice is a pure function of the
+//! build target, never of data or worker count.
+//!
+//! Two kernel families exist per product:
+//!
+//! * **dense** — branch-free register-blocked micro-kernels (this is the
+//!   default; zero entries cost one multiply-add like any other), and
+//! * **sparse** — the seed's zero-skipping row kernels, kept for
+//!   operands the *caller* declares sparse via [`crate::Sparsity`];
+//!   skipping is only a win when most of the declared operand is zero.
+
+/// SIMD lane width the register tiles are built from. Eight `f32`s is
+/// one SSE2/NEON register pair and half an AVX2 register; the
+/// autovectorizer maps `[f32; LANES]` loops onto whichever is available.
+pub const LANES: usize = 8;
+
+/// Output-row tile height of the dense `matmul` micro-kernel: four
+/// output rows share each `b` load, quartering B-side bandwidth.
+pub const MM_I_TILE: usize = 4;
+
+/// Output-column tile width for the dense `matmul` micro-kernel: two
+/// 8-lane accumulators per output row — a 4×16 register tile (eight
+/// accumulator vectors), enough independent FMA chains to cover the
+/// FMA latency instead of serializing on one chain per lane.
+pub const MM_J_TILE: usize = 2 * LANES;
+
+/// Output-row (k-direction) tile height for the dense `t_matmul`
+/// micro-kernel: a 4×16 outer-product register tile.
+pub const TM_K_TILE: usize = 4;
+
+/// Simultaneous dot products in the dense `matmul_t` micro-kernel:
+/// four `b` rows share each `a` load.
+pub const MT_J_TILE: usize = 4;
+
+/// The single accumulation step every kernel in this module is built
+/// from: `acc + a·b`. On targets with hardware FMA (x86-64-v3 builds —
+/// the workspace default per `.cargo/config.toml` — and aarch64, where
+/// FMA is baseline) this lowers to one fused instruction with a single
+/// rounding, doubling per-port FLOPs over separate mul+add. On targets
+/// without it we fall back to mul-then-add rather than the libm
+/// software `fma` (correct but ~100× slower). The operation is fixed at
+/// compile time per build target; within a build, every element's value
+/// remains a pure function of the operand shapes — worker-count
+/// bit-identity (DESIGN.md §9) is unaffected.
+#[inline(always)]
+pub fn fmadd(a: f32, b: f32, acc: f32) -> f32 {
+    #[cfg(any(target_feature = "fma", target_arch = "aarch64"))]
+    {
+        a.mul_add(b, acc)
+    }
+    #[cfg(not(any(target_feature = "fma", target_arch = "aarch64")))]
+    {
+        acc + a * b
+    }
+}
+
+// ---------------------------------------------------------------------
+// matmul: out[i][j] = Σ_k a[i][k] · b[k][j]
+// ---------------------------------------------------------------------
+
+/// Dense row kernel for `a @ b`: computes `chunk.len() / n` output rows
+/// into `chunk`, where `a_rows` holds the matching rows of `a`
+/// (row-major, `k` columns) and `b` is `k × n` row-major.
+///
+/// Per output element the sum runs over `k` ascending in a single
+/// accumulator, in every tile path — bit-identical to a scalar `ikj`
+/// loop without zero-skipping, for any row split and any `n`.
+// spp-hot(kernel.matmul_dense)
+pub fn matmul_rows_dense(a_rows: &[f32], k: usize, b: &[f32], n: usize, chunk: &mut [f32]) {
+    debug_assert_eq!(b.len(), k * n, "b shape mismatch");
+    if n == 0 || k == 0 {
+        return; // empty sum: the (pre-zeroed) chunk is already correct
+    }
+    let rows = chunk.len() / n;
+    let mut i = 0usize;
+    while i + MM_I_TILE <= rows {
+        matmul_block_dense(
+            &a_rows[i * k..(i + MM_I_TILE) * k],
+            k,
+            b,
+            n,
+            &mut chunk[i * n..(i + MM_I_TILE) * n],
+        );
+        i += MM_I_TILE;
+    }
+    while i < rows {
+        matmul_row_tail(
+            &a_rows[i * k..(i + 1) * k],
+            b,
+            n,
+            0,
+            &mut chunk[i * n..(i + 1) * n],
+        );
+        i += 1;
+    }
+}
+
+/// 4×16 register-tiled block: `MM_I_TILE` output rows over 16-wide
+/// column tiles. Eight accumulator vectors stay in registers across the
+/// whole `k` loop; every `b` load feeds all four rows.
+#[inline]
+fn matmul_block_dense(a4: &[f32], k: usize, b: &[f32], n: usize, out4: &mut [f32]) {
+    let mut j = 0usize;
+    while j + MM_J_TILE <= n {
+        let mut acc = [[0.0f32; LANES]; 2 * MM_I_TILE];
+        for kk in 0..k {
+            let b_tile = &b[kk * n + j..kk * n + j + MM_J_TILE];
+            for r in 0..MM_I_TILE {
+                let av = a4[r * k + kk];
+                for l in 0..LANES {
+                    acc[2 * r][l] = fmadd(av, b_tile[l], acc[2 * r][l]);
+                }
+                for l in 0..LANES {
+                    acc[2 * r + 1][l] = fmadd(av, b_tile[LANES + l], acc[2 * r + 1][l]);
+                }
+            }
+        }
+        for r in 0..MM_I_TILE {
+            out4[r * n + j..r * n + j + LANES].copy_from_slice(&acc[2 * r]);
+            out4[r * n + j + LANES..r * n + j + MM_J_TILE].copy_from_slice(&acc[2 * r + 1]);
+        }
+        j += MM_J_TILE;
+    }
+    if j < n {
+        for r in 0..MM_I_TILE {
+            matmul_row_tail(
+                &a4[r * k..(r + 1) * k],
+                b,
+                n,
+                j,
+                &mut out4[r * n..(r + 1) * n],
+            );
+        }
+    }
+}
+
+/// Columns `j0..n` of one output row: 8-wide tiles, then a scalar tail.
+/// Same per-element `k`-ascending order as the 4×16 block path.
+#[inline]
+fn matmul_row_tail(a_row: &[f32], b: &[f32], n: usize, j0: usize, out_row: &mut [f32]) {
+    let mut j = j0;
+    while j + LANES <= n {
+        let mut acc = [0.0f32; LANES];
+        for (kk, &av) in a_row.iter().enumerate() {
+            let b_lane = &b[kk * n + j..kk * n + j + LANES];
+            for l in 0..LANES {
+                acc[l] = fmadd(av, b_lane[l], acc[l]);
+            }
+        }
+        out_row[j..j + LANES].copy_from_slice(&acc);
+        j += LANES;
+    }
+    while j < n {
+        let mut acc = 0.0f32;
+        for (kk, &av) in a_row.iter().enumerate() {
+            acc = fmadd(av, b[kk * n + j], acc);
+        }
+        out_row[j] = acc;
+        j += 1;
+    }
+}
+
+/// Sparse row kernel for `a @ b` (the seed kernel): skips zero entries
+/// of `a`, which pays off only when the caller knows `a` is mostly
+/// zeros. Accumulates into `chunk`, which must be pre-zeroed.
+// spp-hot(kernel.matmul_sparse)
+pub fn matmul_rows_sparse(a_rows: &[f32], k: usize, b: &[f32], n: usize, chunk: &mut [f32]) {
+    debug_assert_eq!(b.len(), k * n, "b shape mismatch");
+    for (a_row, out_row) in a_rows.chunks_exact(k.max(1)).zip(chunk.chunks_mut(n)) {
+        for (kk, &av) in a_row.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[kk * n..kk * n + n];
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// t_matmul: out[kk][j] = Σ_r a[r][kk] · b[r][j]
+// ---------------------------------------------------------------------
+
+/// Dense column-chunk kernel for `aᵀ @ b`: computes output rows
+/// `k0 .. k0 + chunk.len() / n` (i.e. a column range of `a`) into
+/// `chunk`. `a` is `rows × k` row-major, `b` is `rows × n` row-major.
+///
+/// Uses a 4×16 outer-product register tile: four consecutive `a` columns
+/// (contiguous within each `a` row) against a 16-wide `b` column slice,
+/// streaming both operands once per tile pair. Per output element the
+/// sum runs over `r` ascending in a single accumulator in every tile
+/// path, so any column split is bit-identical.
+// spp-hot(kernel.t_matmul_dense)
+pub fn t_matmul_cols_dense(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    rows: usize,
+    k0: usize,
+    chunk: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), rows * k, "a shape mismatch");
+    debug_assert_eq!(b.len(), rows * n, "b shape mismatch");
+    let kn = chunk.len().checked_div(n).unwrap_or(0);
+    let mut kt = 0usize;
+    while kt + TM_K_TILE <= kn {
+        let mut j = 0usize;
+        while j + 2 * LANES <= n {
+            let mut acc = [[0.0f32; LANES]; 2 * TM_K_TILE];
+            for r in 0..rows {
+                let a4 = &a[r * k + k0 + kt..r * k + k0 + kt + TM_K_TILE];
+                let b16 = &b[r * n + j..r * n + j + 2 * LANES];
+                for t in 0..TM_K_TILE {
+                    let av = a4[t];
+                    for l in 0..LANES {
+                        acc[2 * t][l] = fmadd(av, b16[l], acc[2 * t][l]);
+                    }
+                    for l in 0..LANES {
+                        acc[2 * t + 1][l] = fmadd(av, b16[LANES + l], acc[2 * t + 1][l]);
+                    }
+                }
+            }
+            for t in 0..TM_K_TILE {
+                chunk[(kt + t) * n + j..(kt + t) * n + j + LANES].copy_from_slice(&acc[2 * t]);
+                chunk[(kt + t) * n + j + LANES..(kt + t) * n + j + 2 * LANES]
+                    .copy_from_slice(&acc[2 * t + 1]);
+            }
+            j += 2 * LANES;
+        }
+        while j + LANES <= n {
+            let mut acc = [[0.0f32; LANES]; TM_K_TILE];
+            for r in 0..rows {
+                let a4 = &a[r * k + k0 + kt..r * k + k0 + kt + TM_K_TILE];
+                let b8 = &b[r * n + j..r * n + j + LANES];
+                for (t, lane_acc) in acc.iter_mut().enumerate() {
+                    let av = a4[t];
+                    for l in 0..LANES {
+                        lane_acc[l] = fmadd(av, b8[l], lane_acc[l]);
+                    }
+                }
+            }
+            for (t, lane_acc) in acc.iter().enumerate() {
+                chunk[(kt + t) * n + j..(kt + t) * n + j + LANES].copy_from_slice(lane_acc);
+            }
+            j += LANES;
+        }
+        // Scalar j tail for this 4-row band.
+        while j < n {
+            let mut acc = [0.0f32; TM_K_TILE];
+            for r in 0..rows {
+                let a4 = &a[r * k + k0 + kt..r * k + k0 + kt + TM_K_TILE];
+                let bv = b[r * n + j];
+                for (t, &av) in a4.iter().enumerate() {
+                    acc[t] = fmadd(av, bv, acc[t]);
+                }
+            }
+            for (t, &v) in acc.iter().enumerate() {
+                chunk[(kt + t) * n + j] = v;
+            }
+            j += 1;
+        }
+        kt += TM_K_TILE;
+    }
+    // Remaining output rows, one at a time with 8-wide column tiles.
+    while kt < kn {
+        let mut j = 0usize;
+        while j + LANES <= n {
+            let mut acc = [0.0f32; LANES];
+            for r in 0..rows {
+                let av = a[r * k + k0 + kt];
+                let b8 = &b[r * n + j..r * n + j + LANES];
+                for l in 0..LANES {
+                    acc[l] = fmadd(av, b8[l], acc[l]);
+                }
+            }
+            chunk[kt * n + j..kt * n + j + LANES].copy_from_slice(&acc);
+            j += LANES;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for r in 0..rows {
+                acc = fmadd(a[r * k + k0 + kt], b[r * n + j], acc);
+            }
+            chunk[kt * n + j] = acc;
+            j += 1;
+        }
+        kt += 1;
+    }
+}
+
+/// Sparse column-chunk kernel for `aᵀ @ b` (the seed kernel): streams
+/// `b` rows and skips zero `a` entries. Accumulates into `chunk`, which
+/// must be pre-zeroed. Per element the sum runs over `r` ascending.
+// spp-hot(kernel.t_matmul_sparse)
+pub fn t_matmul_cols_sparse(
+    a: &[f32],
+    k: usize,
+    b: &[f32],
+    n: usize,
+    rows: usize,
+    k0: usize,
+    chunk: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), rows * k, "a shape mismatch");
+    debug_assert_eq!(b.len(), rows * n, "b shape mismatch");
+    for r in 0..rows {
+        let b_row = &b[r * n..r * n + n];
+        for (ki, out_row) in chunk.chunks_mut(n.max(1)).enumerate() {
+            let av = a[r * k + k0 + ki];
+            if av == 0.0 {
+                continue;
+            }
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o = fmadd(av, bv, *o);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// matmul_t: out[i][j] = dot(a_row_i, b_row_j)
+// ---------------------------------------------------------------------
+
+/// Dense row kernel for `a @ bᵀ`: computes `chunk.len() / b_rows`
+/// output rows into `chunk`, where `a_rows` holds the matching rows of
+/// `a` and `b` is `b_rows × k` row-major. Each element is a
+/// lane-partitioned dot product ([`dot_blocked`]).
+// spp-hot(kernel.matmul_t_dense)
+pub fn matmul_t_rows_dense(a_rows: &[f32], k: usize, b: &[f32], b_rows: usize, chunk: &mut [f32]) {
+    debug_assert_eq!(b.len(), b_rows * k, "b shape mismatch");
+    let kv = k - k % LANES;
+    for (a_row, out_row) in a_rows
+        .chunks_exact(k.max(1))
+        .zip(chunk.chunks_mut(b_rows.max(1)))
+    {
+        // Four dots at a time: the `a` row vector is loaded once per
+        // 8-lane step and feeds four independent accumulator sets, each
+        // of which reduces exactly like [`dot_blocked`] (same fixed
+        // pairwise tree, same ascending tail) — bit-identical per
+        // element to the one-dot-at-a-time path below.
+        let mut j = 0usize;
+        while j + MT_J_TILE <= b_rows {
+            let mut acc = [[0.0f32; LANES]; MT_J_TILE];
+            matmul_t_tile(a_row, b, k, j, kv, &mut acc);
+            for (t, a8) in acc.iter().enumerate() {
+                let mut sum =
+                    ((a8[0] + a8[1]) + (a8[2] + a8[3])) + ((a8[4] + a8[5]) + (a8[6] + a8[7]));
+                for p in kv..k {
+                    sum = fmadd(a_row[p], b[(j + t) * k + p], sum);
+                }
+                out_row[j + t] = sum;
+            }
+            j += MT_J_TILE;
+        }
+        while j < b_rows {
+            out_row[j] = dot_blocked(a_row, &b[j * k..j * k + k]);
+            j += 1;
+        }
+    }
+}
+
+/// Vector body of the `matmul_t` tile: accumulates the first `kv`
+/// (a multiple of `LANES`) elements of four dot products — `a_row`
+/// against `b` rows `j .. j + MT_J_TILE` — into `acc`, lane-partitioned
+/// exactly like [`dot_blocked`]. Deliberately *not* inlined: with the
+/// callers' horizontal reduction visible in the same function, the SLP
+/// vectorizer packs the accumulators across the `t` axis (a shuffle per
+/// step and a stack spill per accumulator); kept opaque, the lane loops
+/// lower to one vector FMA per dot with no shuffles, and the call cost
+/// is amortized over the whole `kv` loop.
+#[inline(never)]
+fn matmul_t_tile(
+    a_row: &[f32],
+    b: &[f32],
+    k: usize,
+    j: usize,
+    kv: usize,
+    acc: &mut [[f32; LANES]; MT_J_TILE],
+) {
+    let mut p = 0usize;
+    while p < kv {
+        let x8 = &a_row[p..p + LANES];
+        for t in 0..MT_J_TILE {
+            let y8 = &b[(j + t) * k + p..(j + t) * k + p + LANES];
+            for l in 0..LANES {
+                acc[t][l] = fmadd(x8[l], y8[l], acc[t][l]);
+            }
+        }
+        p += LANES;
+    }
+}
+
+/// Lane-partitioned dot product: `k` is split into 8-lane chunks with
+/// one accumulator per lane (breaking the serial FP dependency chain the
+/// scalar loop suffers from), the lanes are combined in a fixed pairwise
+/// reduction tree, and the scalar tail is appended in ascending order.
+/// The association is a pure function of `k` — deterministic for a given
+/// shape, independent of callers and worker counts.
+#[inline]
+pub fn dot_blocked(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len(), "dot length mismatch");
+    let mut acc = [0.0f32; LANES];
+    let x_chunks = x.chunks_exact(LANES);
+    let y_chunks = y.chunks_exact(LANES);
+    let x_tail = x_chunks.remainder();
+    let y_tail = y_chunks.remainder();
+    for (x8, y8) in x_chunks.zip(y_chunks) {
+        for l in 0..LANES {
+            acc[l] = fmadd(x8[l], y8[l], acc[l]);
+        }
+    }
+    let mut sum = ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]));
+    for (&xv, &yv) in x_tail.iter().zip(y_tail) {
+        sum = fmadd(xv, yv, sum);
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference scalar ikj kernel without zero-skipping: the dense
+    /// blocked kernel must match it bit-for-bit (same per-element
+    /// accumulation order, same [`fmadd`] step).
+    fn matmul_scalar(a: &[f32], rows: usize, k: usize, b: &[f32], n: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; rows * n];
+        for i in 0..rows {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    out[i * n + j] = fmadd(av, b[kk * n + j], out[i * n + j]);
+                }
+            }
+        }
+        out
+    }
+
+    fn fractious(len: usize, salt: u32) -> Vec<f32> {
+        (0..len)
+            .map(|i| {
+                ((i as u32).wrapping_mul(2_654_435_761).wrapping_add(salt) % 97) as f32 / 3.0 - 16.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_matmul_matches_scalar_bitwise_over_awkward_shapes() {
+        for (rows, k, n) in [
+            (3, 5, 1),
+            (4, 7, 8),
+            (2, 9, 31),
+            (5, 16, 32),
+            (3, 11, 45),
+            (6, 1, 37),
+        ] {
+            let a = fractious(rows * k, 1);
+            let b = fractious(k * n, 2);
+            let mut out = vec![0.0f32; rows * n];
+            matmul_rows_dense(&a, k, &b, n, &mut out);
+            assert_eq!(out, matmul_scalar(&a, rows, k, &b, n), "{rows}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn dense_t_matmul_matches_r_ascending_scalar_bitwise() {
+        for (rows, k, n) in [(9, 5, 3), (16, 4, 8), (21, 13, 19), (40, 1, 9), (7, 6, 1)] {
+            let a = fractious(rows * k, 3);
+            let b = fractious(rows * n, 4);
+            let mut reference = vec![0.0f32; k * n];
+            for r in 0..rows {
+                for kk in 0..k {
+                    let av = a[r * k + kk];
+                    for j in 0..n {
+                        reference[kk * n + j] = fmadd(av, b[r * n + j], reference[kk * n + j]);
+                    }
+                }
+            }
+            let mut out = vec![0.0f32; k * n];
+            t_matmul_cols_dense(&a, k, &b, n, rows, 0, &mut out);
+            assert_eq!(out, reference, "{rows}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn t_matmul_column_splits_are_bit_identical() {
+        let (rows, k, n) = (33, 14, 10);
+        let a = fractious(rows * k, 5);
+        let b = fractious(rows * n, 6);
+        let mut whole = vec![0.0f32; k * n];
+        t_matmul_cols_dense(&a, k, &b, n, rows, 0, &mut whole);
+        for split in [1usize, 3, 5, 13] {
+            let mut pieced = vec![0.0f32; k * n];
+            let mut k0 = 0usize;
+            while k0 < k {
+                let kn = split.min(k - k0);
+                t_matmul_cols_dense(&a, k, &b, n, rows, k0, &mut pieced[k0 * n..(k0 + kn) * n]);
+                k0 += kn;
+            }
+            assert_eq!(pieced, whole, "split={split}");
+        }
+    }
+
+    #[test]
+    fn sparse_kernels_match_dense_on_shared_support() {
+        // On inputs with no zeros (and no signed-zero/NaN corners) the
+        // skip branch never fires, so sparse must equal dense bitwise.
+        let (rows, k, n) = (6, 19, 23);
+        let a: Vec<f32> = fractious(rows * k, 7).iter().map(|v| v + 100.0).collect();
+        let b = fractious(k * n, 8);
+        let mut dense = vec![0.0f32; rows * n];
+        let mut sparse = vec![0.0f32; rows * n];
+        matmul_rows_dense(&a, k, &b, n, &mut dense);
+        matmul_rows_sparse(&a, k, &b, n, &mut sparse);
+        assert_eq!(dense, sparse);
+
+        let b2 = fractious(rows * n, 9);
+        let mut td = vec![0.0f32; k * n];
+        let mut ts = vec![0.0f32; k * n];
+        t_matmul_cols_dense(&a, k, &b2, n, rows, 0, &mut td);
+        t_matmul_cols_sparse(&a, k, &b2, n, rows, 0, &mut ts);
+        assert_eq!(td, ts);
+    }
+
+    #[test]
+    fn dot_blocked_is_shape_deterministic_and_close_to_serial() {
+        for len in [0usize, 1, 7, 8, 9, 16, 63, 64, 200] {
+            let x = fractious(len, 10);
+            let y = fractious(len, 11);
+            let serial: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let blocked = dot_blocked(&x, &y);
+            assert_eq!(blocked, dot_blocked(&x, &y), "len={len} not deterministic");
+            let scale = 1.0 + serial.abs();
+            assert!(
+                (blocked - serial).abs() / scale < 1e-4,
+                "len={len}: {blocked} vs {serial}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_t_rows_dense_matches_dot() {
+        let (rows, k, bn) = (5, 37, 9);
+        let a = fractious(rows * k, 12);
+        let b = fractious(bn * k, 13);
+        let mut out = vec![0.0f32; rows * bn];
+        matmul_t_rows_dense(&a, k, &b, bn, &mut out);
+        for i in 0..rows {
+            for j in 0..bn {
+                assert_eq!(
+                    out[i * bn + j],
+                    dot_blocked(&a[i * k..(i + 1) * k], &b[j * k..(j + 1) * k])
+                );
+            }
+        }
+    }
+}

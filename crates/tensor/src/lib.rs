@@ -35,10 +35,11 @@
 )]
 
 pub mod init;
+pub mod kernels;
 pub mod matrix;
 pub mod optim;
 pub mod tape;
 
-pub use matrix::Matrix;
+pub use matrix::{Matrix, Sparsity};
 pub use optim::{Adam, Optimizer, Param, Sgd};
 pub use tape::{NodeId, Tape};

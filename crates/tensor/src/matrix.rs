@@ -9,7 +9,25 @@
 //! at all is decided by the pool's single sizing policy
 //! (`jobs_for_cost`), not per-call-site thresholds.
 
+use crate::kernels;
 use spp_pool::{even_ranges, WorkerPool};
+
+/// Caller-declared sparsity hint for the left/transposed operand of a
+/// product. [`Sparsity::Dense`] (the default everywhere) routes to the
+/// branch-free register-blocked kernels in [`crate::kernels`];
+/// [`Sparsity::Sparse`] keeps the zero-skipping row kernels, which only
+/// pay off when most entries of the declared operand are exact zeros
+/// (masked or one-hot operands). The two paths differ in FP terms only
+/// where skipping a `0.0 · x` term differs from adding it (signed
+/// zeros, non-finite values).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Sparsity {
+    /// Operand is dense (or dense enough): branch-free blocked kernel.
+    #[default]
+    Dense,
+    /// Operand is mostly exact zeros: zero-skipping kernel.
+    Sparse,
+}
 
 /// A row-major dense `f32` matrix.
 ///
@@ -37,6 +55,18 @@ impl Matrix {
             cols,
             // spp-hot: alloc(fresh output buffer; hot callers reuse one via the *_into kernels)
             data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A 0×0 matrix whose buffer is never allocated: the shape-only
+    /// constructor the `*_with` wrappers seed their output with, so the
+    /// single allocation happens inside [`Matrix::reset`] at the final
+    /// size (a `Vec::new` never touches the heap).
+    pub fn empty() -> Self {
+        Self {
+            rows: 0,
+            cols: 0,
+            data: Vec::new(), // spp-hot: alloc(capacity-0 Vec::new never touches the heap; pinned by tests/alloc_count.rs)
         }
     }
 
@@ -163,7 +193,7 @@ impl Matrix {
     /// Panics on inner-dimension mismatch.
     // spp-hot(tensor.matmul)
     pub fn matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(0, 0);
+        let mut out = Matrix::empty();
         self.matmul_into(pool, other, &mut out);
         out
     }
@@ -176,39 +206,53 @@ impl Matrix {
     ///
     /// Panics on inner-dimension mismatch.
     pub fn matmul_into(&self, pool: WorkerPool, other: &Matrix, out: &mut Matrix) {
+        self.matmul_into_hinted(pool, other, out, Sparsity::Dense);
+    }
+
+    /// [`Matrix::matmul_into`] with a caller-declared [`Sparsity`] hint
+    /// for `self`: `Dense` uses the register-blocked kernel
+    /// ([`kernels::matmul_rows_dense`]), `Sparse` the zero-skipping one.
+    /// Either way the result is bit-identical across worker counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul_into_hinted(
+        &self,
+        pool: WorkerPool,
+        other: &Matrix,
+        out: &mut Matrix,
+        sparsity: Sparsity,
+    ) {
         assert_eq!(self.cols, other.rows, "matmul dimension mismatch");
         out.reset(self.rows, other.cols);
         let flops = (self.rows * self.cols * other.cols) as u64;
         let jobs = pool.jobs_for_cost(flops).min(self.rows.max(1));
+        let out_cols = other.cols;
         if jobs <= 1 {
-            Self::matmul_rows(self, other, 0, &mut out.data);
+            Self::matmul_rows(self, other, 0, &mut out.data, sparsity);
             return;
         }
-        let out_cols = other.cols;
         let cuts: Vec<usize> = even_ranges(self.rows, jobs)
             .iter()
             .map(|r| r.end * out_cols)
             .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
-            Self::matmul_rows(self, other, offset / out_cols, chunk);
+            Self::matmul_rows(self, other, offset / out_cols, chunk, sparsity);
         });
     }
 
     /// Computes output rows `row0..row0 + chunk.len()/other.cols` into
-    /// `chunk` (a row-major slice of the output).
-    fn matmul_rows(a: &Matrix, b: &Matrix, row0: usize, chunk: &mut [f32]) {
-        let cols = b.cols;
-        for (i, out_row) in chunk.chunks_mut(cols).enumerate() {
-            let a_row = a.row(row0 + i);
-            for (k, &av) in a_row.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = b.row(k);
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
-            }
+    /// `chunk` (a row-major slice of the output), dispatching on the
+    /// sparsity hint.
+    fn matmul_rows(a: &Matrix, b: &Matrix, row0: usize, chunk: &mut [f32], sparsity: Sparsity) {
+        let k = a.cols;
+        let n = b.cols;
+        let rows = chunk.len().checked_div(n).unwrap_or(0);
+        let a_rows = &a.data[row0 * k..(row0 + rows) * k];
+        match sparsity {
+            Sparsity::Dense => kernels::matmul_rows_dense(a_rows, k, &b.data, n, chunk),
+            Sparsity::Sparse => kernels::matmul_rows_sparse(a_rows, k, &b.data, n, chunk),
         }
     }
 
@@ -234,7 +278,7 @@ impl Matrix {
     /// Panics if `self.rows != other.rows`.
     // spp-hot(tensor.t_matmul)
     pub fn t_matmul_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(0, 0);
+        let mut out = Matrix::empty();
         self.t_matmul_into(pool, other, &mut out);
         out
     }
@@ -247,46 +291,52 @@ impl Matrix {
     ///
     /// Panics if `self.rows != other.rows`.
     pub fn t_matmul_into(&self, pool: WorkerPool, other: &Matrix, out: &mut Matrix) {
+        self.t_matmul_into_hinted(pool, other, out, Sparsity::Dense);
+    }
+
+    /// [`Matrix::t_matmul_into`] with a caller-declared [`Sparsity`]
+    /// hint for `self`. Serial and parallel paths run the *same* kernel
+    /// over column ranges, so any worker count is bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self.rows != other.rows`.
+    pub fn t_matmul_into_hinted(
+        &self,
+        pool: WorkerPool,
+        other: &Matrix,
+        out: &mut Matrix,
+        sparsity: Sparsity,
+    ) {
         assert_eq!(self.rows, other.rows, "t_matmul dimension mismatch");
         out.reset(self.cols, other.cols);
         let flops = (self.rows * self.cols * other.cols) as u64;
         let jobs = pool.jobs_for_cost(flops).min(self.cols.max(1));
+        let out_cols = other.cols;
         if jobs <= 1 {
-            for r in 0..self.rows {
-                let a_row = self.row(r);
-                let b_row = other.row(r);
-                for (k, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let out_row = out.row_mut(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            Self::t_matmul_cols(self, other, 0, &mut out.data, sparsity);
             return;
         }
-        let out_cols = other.cols;
         let cuts: Vec<usize> = even_ranges(self.cols, jobs)
             .iter()
             .map(|r| r.end * out_cols)
             .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
-            let k0 = offset / out_cols;
-            for r in 0..self.rows {
-                let b_row = other.row(r);
-                for (ki, out_row) in chunk.chunks_mut(out_cols).enumerate() {
-                    let a = self.get(r, k0 + ki);
-                    if a == 0.0 {
-                        continue;
-                    }
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
-                }
-            }
+            Self::t_matmul_cols(self, other, offset / out_cols, chunk, sparsity);
         });
+    }
+
+    /// Computes output rows `k0..k0 + chunk.len()/other.cols` of
+    /// `selfᵀ @ other` into `chunk`, dispatching on the sparsity hint.
+    fn t_matmul_cols(a: &Matrix, b: &Matrix, k0: usize, chunk: &mut [f32], sparsity: Sparsity) {
+        match sparsity {
+            Sparsity::Dense => {
+                kernels::t_matmul_cols_dense(&a.data, a.cols, &b.data, b.cols, a.rows, k0, chunk)
+            }
+            Sparsity::Sparse => {
+                kernels::t_matmul_cols_sparse(&a.data, a.cols, &b.data, b.cols, a.rows, k0, chunk)
+            }
+        }
     }
 
     /// `self @ otherᵀ` without materializing the transpose, on the
@@ -308,7 +358,7 @@ impl Matrix {
     /// Panics if `self.cols != other.cols`.
     // spp-hot(tensor.matmul_t)
     pub fn matmul_t_with(&self, pool: WorkerPool, other: &Matrix) -> Matrix {
-        let mut out = Matrix::zeros(0, 0);
+        let mut out = Matrix::empty();
         self.matmul_t_into(pool, other, &mut out);
         out
     }
@@ -335,17 +385,9 @@ impl Matrix {
             .collect(); // spp-hot: alloc(job-cut table, one word per job; bounded by pool width)
         pool.par_chunks(&mut out.data, &cuts, |_, offset, chunk| {
             let i0 = offset / out_cols;
-            for (ii, out_row) in chunk.chunks_mut(out_cols).enumerate() {
-                let a_row = self.row(i0 + ii);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
-                }
-            }
+            let rows = chunk.len() / out_cols;
+            let a_rows = &self.data[i0 * self.cols..(i0 + rows) * self.cols];
+            kernels::matmul_t_rows_dense(a_rows, self.cols, &other.data, other.rows, chunk);
         });
     }
 
@@ -357,7 +399,7 @@ impl Matrix {
     /// [`Matrix::transpose`] on an explicit pool; a pure permutation,
     /// split by output rows.
     pub fn transpose_with(&self, pool: WorkerPool) -> Matrix {
-        let mut out = Matrix::zeros(0, 0);
+        let mut out = Matrix::empty();
         self.transpose_into(pool, &mut out);
         out
     }
@@ -455,11 +497,65 @@ mod tests {
         let a = Matrix::from_flat(r, k, (0..r * k).map(|i| (i % 13) as f32 - 6.0).collect());
         let b = Matrix::from_flat(k, c, (0..k * c).map(|i| (i % 7) as f32 - 3.0).collect());
         let mut serial = Matrix::zeros(r, c);
-        Matrix::matmul_rows(&a, &b, 0, serial.as_flat_mut());
+        Matrix::matmul_rows(&a, &b, 0, serial.as_flat_mut(), Sparsity::Dense);
         for workers in [1usize, 2, 8] {
             let par = a.matmul_with(WorkerPool::new(workers), &b);
             assert_eq!(par, serial, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn sparse_hint_bit_identical_across_pools_and_close_to_dense() {
+        // A mostly-zero left operand: the declared-sparse path must be
+        // deterministic across worker counts and agree with the dense
+        // kernel on values (identical sums, possibly different bits only
+        // for signed-zero corners, which this input avoids).
+        let r = 900usize;
+        let k = 64usize;
+        let c = 48usize;
+        let a = Matrix::from_flat(
+            r,
+            k,
+            (0..r * k)
+                .map(|i| {
+                    if i % 7 == 0 {
+                        (i % 13) as f32 / 3.0 + 1.0
+                    } else {
+                        0.0
+                    }
+                })
+                .collect(),
+        );
+        let b = fractious(k, c, 21);
+        let mut sparse_serial = Matrix::empty();
+        a.matmul_into_hinted(
+            WorkerPool::serial(),
+            &b,
+            &mut sparse_serial,
+            Sparsity::Sparse,
+        );
+        for workers in [2usize, 8] {
+            let mut par = Matrix::empty();
+            a.matmul_into_hinted(WorkerPool::new(workers), &b, &mut par, Sparsity::Sparse);
+            assert_eq!(par, sparse_serial, "workers={workers}");
+        }
+        assert_eq!(a.matmul(&b), sparse_serial);
+
+        let d = fractious(r, c, 22);
+        let mut t_sparse = Matrix::empty();
+        a.t_matmul_into_hinted(WorkerPool::new(4), &d, &mut t_sparse, Sparsity::Sparse);
+        assert_eq!(t_sparse, a.t_matmul(&d));
+    }
+
+    #[test]
+    fn empty_never_allocates_and_resets_to_shape() {
+        let m = Matrix::empty();
+        assert_eq!(m.shape(), (0, 0));
+        assert_eq!(m.data.capacity(), 0);
+        let mut m = Matrix::empty();
+        m.reset(3, 4);
+        assert_eq!(m.shape(), (3, 4));
+        assert!(m.as_flat().iter().all(|&x| x == 0.0));
     }
 
     /// Non-trivially-rounding values (1/3 scaled) so any change in

@@ -10,7 +10,7 @@
 //! and a second test would race the counter.
 
 use spp_pool::WorkerPool;
-use spp_tensor::Matrix;
+use spp_tensor::{kernels, Matrix};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
@@ -134,5 +134,33 @@ fn into_kernels_stop_allocating_after_warmup() {
     assert!(
         allocs2 <= 3 * 4 * 2,
         "steady-state into-kernels should stay at the job-cut table, saw {allocs2}"
+    );
+
+    // The blocked micro-kernels themselves (DESIGN.md §14) are pure
+    // slice loops: register tiles live on the stack, and the
+    // out-of-line `matmul_t` tile body must not reintroduce a heap
+    // allocation. Zero allocations, not merely "bounded".
+    let (rows, kk, n) = (96usize, 48, 32);
+    let av = a.as_flat().to_vec();
+    let bv = b.as_flat().to_vec();
+    let cv = filled(rows, n, 3).as_flat().to_vec();
+    let mut out_mm = vec![0.0f32; rows * n];
+    let mut out_tm = vec![0.0f32; kk * n];
+    let mut out_mt = vec![0.0f32; rows * rows];
+    let (kernel_allocs, kernel_bytes, ()) = counted(|| {
+        for _ in 0..4 {
+            out_mm.fill(0.0);
+            kernels::matmul_rows_dense(&av, kk, &bv, n, &mut out_mm);
+            kernels::t_matmul_cols_dense(&av, kk, &cv, n, rows, 0, &mut out_tm);
+            kernels::matmul_t_rows_dense(&av, kk, &av, rows, &mut out_mt);
+            out_mm.fill(0.0);
+            kernels::matmul_rows_sparse(&av, kk, &bv, n, &mut out_mm);
+            std::hint::black_box(kernels::dot_blocked(&av[..kk], &bv[..kk]));
+        }
+    });
+    assert_eq!(
+        (kernel_allocs, kernel_bytes),
+        (0, 0),
+        "blocked kernels must not touch the heap"
     );
 }

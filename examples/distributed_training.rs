@@ -37,6 +37,7 @@ fn main() {
             beta: 0.5,
             vip_reorder: true,
             seed: 6,
+            ..SetupConfig::default()
         },
     );
 
@@ -75,6 +76,7 @@ fn main() {
             beta: 0.5,
             vip_reorder: true,
             seed: 6,
+            ..SetupConfig::default()
         },
     );
     let cost = CostModel::mini_calibrated();

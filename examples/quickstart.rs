@@ -65,6 +65,7 @@ fn main() {
             beta: 0.5,
             vip_reorder: true,
             seed: 1,
+            ..SetupConfig::default()
         },
     );
     println!(

@@ -54,6 +54,7 @@ fn main() {
                     beta: 0.1,
                     vip_reorder: true,
                     seed: 4,
+                    ..SetupConfig::default()
                 },
             );
             let t = EpochSim::new(&setup, slow, SystemSpec::pipelined(h)).simulate_epoch(0);

@@ -86,6 +86,16 @@ fn load_dataset(flags: &Flags) -> Dataset {
     }
 }
 
+fn parse_quant(flags: &Flags, key: &str) -> spp_graph::QuantScheme {
+    match flags.get(key) {
+        Some(s) => spp_graph::QuantScheme::parse(s).unwrap_or_else(|| {
+            eprintln!("flag --{key} must be f32, f16, or i8 (got {s})");
+            std::process::exit(2);
+        }),
+        None => spp_graph::QuantScheme::F32,
+    }
+}
+
 fn parse_fanouts(flags: &Flags, default: &[usize]) -> Fanouts {
     match flags.get("fanouts") {
         Some(s) => Fanouts::new(
@@ -190,6 +200,7 @@ fn cmd_analyze(flags: &Flags) {
             policy: CachePolicy::VipAnalytic,
             alpha,
             beta: 0.5,
+            cache_scheme: parse_quant(flags, "quant"),
             vip_reorder: true,
             seed: flags.num("seed", 0),
         },
@@ -229,6 +240,7 @@ fn cmd_train(flags: &Flags) {
             policy: CachePolicy::VipAnalytic,
             alpha: flags.num("alpha", 0.32),
             beta: 0.5,
+            cache_scheme: parse_quant(flags, "quant"),
             vip_reorder: true,
             seed: flags.num("seed", 0),
         },
@@ -285,6 +297,7 @@ fn cmd_simulate(flags: &Flags) {
             },
             alpha: if use_cache { alpha } else { 0.0 },
             beta: flags.num("beta", 0.5),
+            cache_scheme: parse_quant(flags, "quant"),
             vip_reorder: true,
             seed: flags.num("seed", 0),
         },

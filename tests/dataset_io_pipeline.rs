@@ -37,6 +37,7 @@ fn saved_dataset_trains_identically() {
         beta: 0.5,
         vip_reorder: true,
         seed: 3,
+        ..SetupConfig::default()
     };
     let tcfg = DistTrainConfig {
         hidden_dim: 16,

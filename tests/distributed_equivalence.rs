@@ -45,6 +45,7 @@ fn setup(
             beta: 0.5,
             vip_reorder,
             seed: 7,
+            ..SetupConfig::default()
         },
     )
 }

@@ -37,6 +37,7 @@ fn setup(ds: &Dataset, k: usize, alpha: f64, beta: f64) -> DistributedSetup {
             beta,
             vip_reorder: true,
             seed: 3,
+            ..SetupConfig::default()
         },
     )
 }
