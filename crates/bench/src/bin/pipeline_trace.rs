@@ -4,11 +4,14 @@
 //! (virtual-time spans for all ten stages plus train/all-reduce on the
 //! simulated-time trace process) and one short distributed-training run
 //! (wall-clock engine spans, per-machine-pair comm byte counters,
-//! sampler/pool metrics). Prints the metrics summary and writes
-//! `results/trace_pipeline.{json,jsonl}` — the files CI validates with
-//! `cargo xtask validate-trace --stages` — plus headline numbers to
-//! `results/BENCH_pipeline_trace.json`. Load the Chrome trace at
-//! ui.perfetto.dev (see README).
+//! sampler/pool metrics). Per-stage latency is summarised by mergeable
+//! HDR sketches built from the simulated spans (p50/p99/p999 per
+//! stage), and the engine's per-epoch comm matrix is embedded as a
+//! CommReport attribution section. Prints the metrics summary and
+//! writes `results/trace_pipeline.{json,jsonl}` — the files CI
+//! validates with `cargo xtask validate-trace --stages --attrib` —
+//! plus headline numbers to `results/BENCH_pipeline_trace.json`. Load
+//! the Chrome trace at ui.perfetto.dev (see README).
 
 // Harness binaries may abort on setup errors; the workspace
 // panic-family denies gate the library crates, not the harnesses
@@ -76,10 +79,35 @@ fn main() {
     let (train_report, _) = trainer.train();
     let final_loss = train_report.epoch_losses.last().copied().unwrap_or(0.0);
     println!(
-        "trained {} epoch(s): final mean loss {final_loss:.4}, remote fetches {}",
+        "trained {} epoch(s): final mean loss {final_loss:.4}, remote fetches {}, \
+         comm total {} bytes",
         train_report.epoch_losses.len(),
-        train_report.remote_fetches
+        train_report.remote_fetches,
+        train_report.comm.total_bytes(),
     );
+
+    // Per-stage latency sketches from the simulated spans: every DES
+    // task carries its stage short-name as the span label, so grouping
+    // by name yields one mergeable sketch per pipeline stage.
+    let mut stage_sketches: std::collections::BTreeMap<String, tel::QuantileSketch> =
+        std::collections::BTreeMap::new();
+    for e in tel::events_snapshot() {
+        if e.sim {
+            stage_sketches
+                .entry(e.name.to_string())
+                .or_default()
+                .observe(e.dur_ns);
+        }
+    }
+    for (stage, s) in &stage_sketches {
+        println!(
+            "stage {stage}: n {} p50 {} ns p99 {} ns p999 {} ns",
+            s.count(),
+            s.quantile(0.5),
+            s.quantile(0.99),
+            s.quantile(0.999),
+        );
+    }
 
     print!("{}", tel::summary());
     match tel::write_trace_files(std::path::Path::new("results"), "pipeline") {
@@ -104,6 +132,15 @@ fn main() {
         .field("train_epochs", train_report.epoch_losses.len().to_string())
         .field("final_loss", format!("{final_loss:.6}"))
         .field("remote_fetches", train_report.remote_fetches.to_string());
+    let stages_json = stage_sketches
+        .iter()
+        .map(|(stage, s)| format!("\"{stage}\": {}", s.to_json()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    report.field("stage_sketches", format!("{{{stages_json}}}"));
+    // The engine's per-epoch comm matrix (one window per epoch,
+    // bytes[src][dst]); the same report the Chrome trace embeds.
+    report.field("comm_report", train_report.comm.to_json());
     if let Some(path) = report.write() {
         println!("wrote {}", path.display());
     }

@@ -20,11 +20,15 @@
 //!
 //! Hard assertions (exit 1 on failure): every request is completed or
 //! rejected-with-reason; the two-tier combined hit rate beats
-//! static-only at equal capacity and clears a minimum bar; and serving
-//! is bit-identical at 1 vs 8 classification workers. Emits
-//! `results/BENCH_serving.json` (throughput, p50/p99 virtual latency,
-//! per-tier hit rates) and `results/trace_serving.{json,jsonl}` for
-//! `cargo xtask validate-trace`.
+//! static-only at equal capacity and clears a minimum bar; serving is
+//! bit-identical at 1 vs 2 vs 8 classification workers (including the
+//! per-tier cache attribution report, byte for byte); and sketch p99
+//! latency is monotone non-increasing across a burstiness sweep (more
+//! re-referencing means more overlay hits means shorter tails). Emits
+//! `results/BENCH_serving.json` (throughput, sketch p50/p99/p999
+//! virtual latency, per-tier hit rates, CacheReport/CommReport
+//! attribution sections) and `results/trace_serving.{json,jsonl}` for
+//! `cargo xtask validate-trace --stages --attrib`.
 
 // Harness binaries may abort on setup errors; the workspace
 // panic-family denies gate the library crates, not the harnesses
@@ -53,8 +57,12 @@ const ALPHA_TOTAL: f64 = 0.2;
 const SKEW: f64 = 4.0;
 /// Short-window re-reference probability of the request trace.
 const BURSTINESS: f64 = 0.6;
+/// Burstiness sweep for the p99-monotonicity assertion.
+const BURSTINESS_SWEEP: [f64; 3] = [0.0, 0.45, 0.9];
 /// Minimum acceptable two-tier combined hit rate.
 const MIN_COMBINED_HIT_RATE: f64 = 0.10;
+/// Comm-matrix windows cut from the virtual makespan.
+const COMM_WINDOWS: usize = 4;
 
 fn check(ok: bool, what: &str) {
     if ok {
@@ -67,10 +75,13 @@ fn check(ok: bool, what: &str) {
 
 fn tier_json(r: &ServeReport) -> String {
     let completed = r.completions.len().max(1);
+    // Latency quantiles come from the mergeable HDR sketch, not the raw
+    // completion vector: the same numbers the attribution layer exports.
     format!(
         concat!(
             "{{\"completed\": {}, \"rejected\": {}, \"throughput_rps\": {:.2}, ",
             "\"p50_latency_ms\": {:.4}, \"p99_latency_ms\": {:.4}, ",
+            "\"p999_latency_ms\": {:.4}, ",
             "\"makespan_s\": {:.6}, \"static_hit_rate\": {:.4}, ",
             "\"overlay_hit_rate\": {:.4}, \"combined_hit_rate\": {:.4}, ",
             "\"overlay_evictions\": {}, \"bytes_fetched\": {}, ",
@@ -79,8 +90,9 @@ fn tier_json(r: &ServeReport) -> String {
         r.completions.len(),
         r.rejections.len(),
         r.throughput(),
-        r.latency_quantile(0.5) * 1e3,
-        r.latency_quantile(0.99) * 1e3,
+        r.latency_sketch.quantile_secs(0.5) * 1e3,
+        r.latency_sketch.quantile_secs(0.99) * 1e3,
+        r.latency_sketch.quantile_secs(0.999) * 1e3,
         r.makespan,
         r.cache.static_hit_rate(),
         r.cache.overlay_hit_rate(),
@@ -150,38 +162,65 @@ fn main() {
          vs {quant_static} static + {quant_overlay_cap} overlay (f16, equal RAM)"
     );
 
-    let trace = generate_open_loop(&TraceConfig {
-        num_requests: requests,
-        num_vertices: n,
-        arrival_rate: 20_000.0,
-        skew: SKEW,
-        burstiness: BURSTINESS,
-        seed: cli.seed ^ 0x5eed_f00d,
-    });
+    let make_trace = |burstiness: f64| {
+        generate_open_loop(&TraceConfig {
+            num_requests: requests,
+            num_vertices: n,
+            arrival_rate: 20_000.0,
+            skew: SKEW,
+            burstiness,
+            seed: cli.seed ^ 0x5eed_f00d,
+        })
+    };
+    let trace = make_trace(BURSTINESS);
 
-    let serve =
-        |setup: &DistributedSetup, overlay_capacity: usize, scheme: QuantScheme, workers: usize| {
-            let cfg = ServeConfig {
-                max_batch_size: 16,
-                max_delay: 1e-3,
-                queue_capacity: 512,
-                overlay_capacity,
-                overlay_scheme: scheme,
-                wire_scheme: scheme,
-                fanouts: fanouts.clone(),
-                seed: cli.seed,
-                pool: WorkerPool::new(workers),
-                ..ServeConfig::default()
-            };
-            InferenceServer::new(setup, &model, 0, cfg).run(&trace)
+    let serve = |setup: &DistributedSetup,
+                 overlay_capacity: usize,
+                 scheme: QuantScheme,
+                 workers: usize,
+                 trace: &[spp_serve::InferenceRequest]| {
+        let cfg = ServeConfig {
+            max_batch_size: 16,
+            max_delay: 1e-3,
+            queue_capacity: 512,
+            overlay_capacity,
+            overlay_scheme: scheme,
+            wire_scheme: scheme,
+            fanouts: fanouts.clone(),
+            seed: cli.seed,
+            pool: WorkerPool::new(workers),
+            ..ServeConfig::default()
         };
+        InferenceServer::new(setup, &model, 0, cfg).run(trace)
+    };
 
     let workers = WorkerPool::global().workers();
-    let static_only = serve(&setup_static, 0, QuantScheme::F32, workers);
-    let two_tier = serve(&setup_half, overlay_cap, QuantScheme::F32, workers);
-    let quant_tier = serve(&setup_quant, quant_overlay_cap, QuantScheme::F16, workers);
-    let det1 = serve(&setup_half, overlay_cap, QuantScheme::F32, 1);
-    let det8 = serve(&setup_half, overlay_cap, QuantScheme::F32, 8);
+    let static_only = serve(&setup_static, 0, QuantScheme::F32, workers, &trace);
+    let two_tier = serve(&setup_half, overlay_cap, QuantScheme::F32, workers, &trace);
+    let quant_tier = serve(
+        &setup_quant,
+        quant_overlay_cap,
+        QuantScheme::F16,
+        workers,
+        &trace,
+    );
+    let det1 = serve(&setup_half, overlay_cap, QuantScheme::F32, 1, &trace);
+    let det2 = serve(&setup_half, overlay_cap, QuantScheme::F32, 2, &trace);
+    let det8 = serve(&setup_half, overlay_cap, QuantScheme::F32, 8, &trace);
+
+    // Burstiness sweep on the two-tier config: the re-reference
+    // probability is the overlay's food supply, so the p99 tail must
+    // not grow as burstiness rises.
+    let sweep: Vec<(f64, ServeReport)> = BURSTINESS_SWEEP
+        .iter()
+        .map(|&b| {
+            let t = make_trace(b);
+            (
+                b,
+                serve(&setup_half, overlay_cap, QuantScheme::F32, workers, &t),
+            )
+        })
+        .collect();
 
     for (name, r) in [
         ("static-only", &static_only),
@@ -190,14 +229,23 @@ fn main() {
     ] {
         println!(
             "{name}: {} completed, {} rejected, {:.0} req/s, p50 {:.3} ms, \
-             p99 {:.3} ms, hit rates static {:.3} overlay {:.3} combined {:.3}",
+             p99 {:.3} ms, p999 {:.3} ms, hit rates static {:.3} overlay {:.3} \
+             combined {:.3}",
             r.completions.len(),
             r.rejections.len(),
             r.throughput(),
-            r.latency_quantile(0.5) * 1e3,
-            r.latency_quantile(0.99) * 1e3,
+            r.latency_sketch.quantile_secs(0.5) * 1e3,
+            r.latency_sketch.quantile_secs(0.99) * 1e3,
+            r.latency_sketch.quantile_secs(0.999) * 1e3,
             r.cache.static_hit_rate(),
             r.cache.overlay_hit_rate(),
+            r.cache.combined_hit_rate(),
+        );
+    }
+    for (b, r) in &sweep {
+        println!(
+            "burstiness {b:.2}: p99 {:.3} ms, combined hit rate {:.3}",
+            r.latency_sketch.quantile_secs(0.99) * 1e3,
             r.cache.combined_hit_rate(),
         );
     }
@@ -232,15 +280,43 @@ fn main() {
         quant_tier.cache.bytes_fetched < two_tier.cache.bytes_fetched,
         "quantized serving moves fewer bytes on the wire",
     );
-    // §11 determinism: classification worker count is unobservable.
+    // §11 determinism: classification worker count is unobservable —
+    // down to the per-tier attribution report, byte for byte.
     check(
-        det1.completions == det8.completions && det1.batches == det8.batches,
-        "serving bit-identical at 1 vs 8 workers",
+        det1.completions == det2.completions
+            && det2.completions == det8.completions
+            && det1.batches == det8.batches,
+        "serving bit-identical at 1 vs 2 vs 8 workers",
+    );
+    let det_cache = det1.cache_report("det").to_json();
+    check(
+        det_cache == det2.cache_report("det").to_json()
+            && det_cache == det8.cache_report("det").to_json(),
+        "cache attribution report bit-identical at 1 vs 2 vs 8 workers",
     );
     check(
         det1.completions == two_tier.completions,
         "global-pool run matches the fixed-pool runs",
     );
+    // The overlay converts re-referencing into shorter tails: sketch
+    // p99 must be monotone non-increasing across the burstiness sweep.
+    check(
+        sweep
+            .windows(2)
+            .all(|w| w[1].1.latency_sketch.quantile(0.99) <= w[0].1.latency_sketch.quantile(0.99)),
+        "sketch p99 latency monotone non-increasing in burstiness",
+    );
+
+    // Publish the attribution reports so the Chrome trace written below
+    // carries the `attrib` section (`validate-trace --attrib`).
+    for (label, r) in [
+        ("static_only", &static_only),
+        ("two_tier", &two_tier),
+        ("two_tier_f16_equal_ram", &quant_tier),
+    ] {
+        tel::publish_cache_report(r.cache_report(label));
+        tel::publish_comm_report(r.comm_report(label, COMM_WINDOWS));
+    }
 
     print!("{}", tel::summary());
     match tel::write_trace_files(std::path::Path::new("results"), "serving") {
@@ -267,9 +343,48 @@ fn main() {
         .field("overlay_rows", overlay_cap.to_string())
         .field("quant_static_rows", quant_static.to_string())
         .field("quant_overlay_rows", quant_overlay_cap.to_string())
+        .field("burstiness", format!("{BURSTINESS}"))
+        .field("windows", COMM_WINDOWS.to_string())
+        .field("workers", workers.to_string())
         .field("static_only", tier_json(&static_only))
         .field("two_tier", tier_json(&two_tier))
         .field("two_tier_f16_equal_ram", tier_json(&quant_tier));
+    // Burstiness sweep: one object per level, keyed by the level.
+    let sweep_json = sweep
+        .iter()
+        .map(|(b, r)| {
+            format!(
+                "{{\"burstiness\": {b}, \"p99_latency_ms\": {:.4}, \
+                 \"combined_hit_rate\": {:.4}}}",
+                r.latency_sketch.quantile_secs(0.99) * 1e3,
+                r.cache.combined_hit_rate(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ");
+    report.field("burstiness_sweep", format!("[{sweep_json}]"));
+    // Attribution: the same CacheReport/CommReport JSON the Chrome
+    // trace embeds, inlined so bench-diff and humans see it in one
+    // place.
+    let cache_json = [
+        ("static_only", &static_only),
+        ("two_tier", &two_tier),
+        ("two_tier_f16_equal_ram", &quant_tier),
+    ]
+    .iter()
+    .map(|(label, r)| r.cache_report(label).to_json())
+    .collect::<Vec<_>>()
+    .join(", ");
+    report.field("cache_reports", format!("[{cache_json}]"));
+    let comm_json = [
+        ("two_tier", &two_tier),
+        ("two_tier_f16_equal_ram", &quant_tier),
+    ]
+    .iter()
+    .map(|(label, r)| r.comm_report(label, COMM_WINDOWS).to_json())
+    .collect::<Vec<_>>()
+    .join(", ");
+    report.field("comm_reports", format!("[{comm_json}]"));
     if let Some(path) = report.write() {
         println!("wrote {}", path.display());
     }

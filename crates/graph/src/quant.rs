@@ -393,7 +393,15 @@ mod tests {
     #[test]
     fn f16_error_bound_on_normal_range() {
         // Relative error <= 2^-11 for values in the f16 normal range.
-        let vals = [1.0f32, -1.5, std::f32::consts::PI, 1e-3, 123.456, -6.1e-5, 6e4];
+        let vals = [
+            1.0f32,
+            -1.5,
+            std::f32::consts::PI,
+            1e-3,
+            123.456,
+            -6.1e-5,
+            6e4,
+        ];
         for &v in &vals {
             let rt = f16_bits_to_f32(f32_to_f16_bits(v));
             assert!(((rt - v) / v).abs() <= 2.0_f32.powi(-11), "v={v} rt={rt}");

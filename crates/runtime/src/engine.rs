@@ -78,6 +78,13 @@ pub struct DistributedTrainReport {
     /// Remote vertices fetched over the run (communication actually
     /// performed, after the cache).
     pub remote_fetches: usize,
+    /// Windowed communication matrix: one `machines × machines` window
+    /// per epoch, `bytes[src][dst]` = bytes machine `src` sent to `dst`
+    /// (requests + feature rows + gradients). Accumulated thread-locally
+    /// per machine and merged after the join in rank order, so it is
+    /// bit-identical across runs and never reads the (racy) telemetry
+    /// counters.
+    pub comm: spp_telemetry::CommReport,
 }
 
 /// Runs data-parallel GNN training over a [`DistributedSetup`].
@@ -161,6 +168,11 @@ impl<'a> DistributedTrainer<'a> {
             let sample_seed = cfg.seed ^ ((rank as u64) << 32);
             let mut epoch_losses = Vec::with_capacity(cfg.epochs);
             let mut remote_fetches = 0usize;
+            // Deterministic per-epoch send accounting for the comm
+            // matrix: `sent[epoch * k + peer]` = bytes this machine sent
+            // to `peer` in `epoch`. Thread-local, merged after the join
+            // (never read from the racy telemetry counters).
+            let mut sent = vec![0u64; cfg.epochs * k];
 
             for epoch in 0..cfg.epochs as u64 {
                 let _epoch_span = spp_telemetry::span!("runtime.engine.epoch");
@@ -195,6 +207,7 @@ impl<'a> DistributedTrainer<'a> {
                                 if let Some(cc) = comm_counters {
                                     cc[rank][owner].add(4 * reqs.len() as u64);
                                 }
+                                sent[epoch as usize * k + owner] += 4 * reqs.len() as u64;
                                 outgoing[owner] =
                                     Payload::Ids(reqs.iter().map(|&(_, v)| v).collect());
                             }
@@ -220,10 +233,12 @@ impl<'a> DistributedTrainer<'a> {
                                         );
                                     }
                                 }
+                                let row_bytes = cfg.wire_scheme.row_bytes(f.dim());
                                 if let Some(cc) = comm_counters {
-                                    let row_bytes = cfg.wire_scheme.row_bytes(f.dim());
                                     cc[rank][requester].add((f.num_rows() * row_bytes) as u64);
                                 }
+                                sent[epoch as usize * k + requester] +=
+                                    (f.num_rows() * row_bytes) as u64;
                                 Payload::Feats(f)
                             }
                             _ => Payload::Empty,
@@ -268,19 +283,21 @@ impl<'a> DistributedTrainer<'a> {
                     }
 
                     // Phase 3: gradient all-gather + average + step.
-                    let outgoing: Vec<Payload> = (0..k)
-                        .map(|peer| match &grads {
+                    let mut outgoing: Vec<Payload> = Vec::with_capacity(k);
+                    for peer in 0..k {
+                        outgoing.push(match &grads {
                             Some(g) => {
                                 if peer != rank {
                                     if let Some(cc) = comm_counters {
                                         cc[rank][peer].add(4 * g.len() as u64);
                                     }
+                                    sent[epoch as usize * k + peer] += 4 * g.len() as u64;
                                 }
                                 Payload::Grads(g.clone())
                             }
                             None => Payload::Empty,
-                        })
-                        .collect();
+                        });
+                    }
                     let all_grads = grads_x.exchange(rank, outgoing);
                     let mut sum: Option<Vec<f32>> = None;
                     let mut contributors = 0usize;
@@ -325,11 +342,29 @@ impl<'a> DistributedTrainer<'a> {
                     0.0
                 });
             }
-            (model, epoch_losses, remote_fetches)
+            (model, epoch_losses, remote_fetches, sent)
         });
 
-        let remote_fetches: usize = results.iter().map(|(_, _, f)| *f).sum();
-        let (model, epoch_losses, _) = results.remove(0);
+        let remote_fetches: usize = results.iter().map(|(_, _, f, _)| *f).sum();
+        // Merge the thread-local send tallies in rank order: one comm
+        // window per epoch, bit-identical across runs.
+        let mut comm = spp_telemetry::CommReport::with_windows("train", k, cfg.epochs, |e| {
+            format!("epoch{e}")
+        });
+        for (rank, (_, _, _, sent)) in results.iter().enumerate() {
+            for epoch in 0..cfg.epochs {
+                for peer in 0..k {
+                    let bytes = sent[epoch * k + peer];
+                    if bytes > 0 {
+                        comm.record(epoch, rank, peer, bytes);
+                    }
+                }
+            }
+        }
+        if metrics::enabled() {
+            spp_telemetry::publish_comm_report(comm.clone());
+        }
+        let (model, epoch_losses, _, _) = results.remove(0);
 
         let val_accuracy = self.evaluate(&model, &self.setup.dataset.split.val);
         let test_accuracy = self.evaluate(&model, &self.setup.dataset.split.test);
@@ -339,6 +374,7 @@ impl<'a> DistributedTrainer<'a> {
                 val_accuracy,
                 test_accuracy,
                 remote_fetches,
+                comm,
             },
             model,
         )

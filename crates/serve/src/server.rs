@@ -194,6 +194,29 @@ pub struct ServeReport {
     pub cache: CacheStats,
     /// Virtual makespan (last pipeline completion).
     pub makespan: f64,
+    /// End-to-end latency sketch (virtual nanoseconds, completion
+    /// order). Virtual time makes this bit-identical across runs and
+    /// worker counts (§11).
+    pub latency_sketch: tel::QuantileSketch,
+    /// Per-pipeline-stage duration sketches (`serve.sample`,
+    /// `serve.fetch`, `serve.copy`, `serve.infer`), folded from the DES
+    /// trace in stage-name order. Empty when telemetry was off at
+    /// server construction (the DES trace is not recorded then).
+    pub stage_sketches: Vec<(String, tel::QuantileSketch)>,
+    /// Wire precision the run used (labels the cache report).
+    pub wire_scheme: QuantScheme,
+    /// Overlay storage precision (sizes the overlay tier's bytes).
+    pub overlay_scheme: QuantScheme,
+    /// Feature dimension (sizes per-tier byte accounting).
+    pub feature_dim: usize,
+    /// This server's machine id.
+    pub part: u32,
+    /// Machines in the deployment (comm-matrix side length).
+    pub machines: usize,
+    /// Per-batch remote-fetch events `(batch close time, owner machine,
+    /// wire bytes)`, in batch order — the raw material of
+    /// [`ServeReport::comm_report`].
+    pub fetch_events: Vec<(f64, u32, u64)>,
 }
 
 impl ServeReport {
@@ -228,6 +251,58 @@ impl ServeReport {
             return 0.0;
         }
         self.completions.iter().map(|c| c.latency).sum::<f64>() / self.completions.len() as f64
+    }
+
+    /// Structured per-tier cache attribution for this run (DESIGN.md
+    /// §15). Tier hit counts partition `lookups` (the `remote` tier
+    /// counts every fetch as a hit — the network always answers), and
+    /// per-tier bytes reflect each tier's storage precision: the static
+    /// tier is device-resident `f32`, the overlay holds
+    /// [`Self::overlay_scheme`] rows, and the remote tier moves
+    /// [`Self::wire_scheme`] rows. Built from deterministic accounting,
+    /// so `to_json()` is bit-identical across runs and worker counts.
+    pub fn cache_report(&self, label: &str) -> tel::CacheReport {
+        let dim = self.feature_dim;
+        let mut st = tel::TierStats::named("static");
+        st.hits = self.cache.static_hits;
+        st.misses = self.cache.lookups - self.cache.static_hits;
+        st.bytes = self.cache.static_hits * (dim * 4) as u64;
+        let mut ov = tel::TierStats::named("overlay");
+        ov.hits = self.cache.overlay_hits;
+        ov.misses = self.cache.misses;
+        ov.evictions = self.cache.evictions;
+        ov.insertions = self.cache.insertions;
+        ov.bytes = self.cache.overlay_hits * self.overlay_scheme.row_bytes(dim) as u64;
+        let mut re = tel::TierStats::named("remote");
+        re.hits = self.cache.misses;
+        re.insertions = self.cache.misses;
+        re.bytes = self.cache.bytes_fetched;
+        tel::CacheReport {
+            label: label.to_string(),
+            scheme: self.wire_scheme.name().to_string(),
+            lookups: self.cache.lookups,
+            local: self.cache.local,
+            tiers: vec![st, ov, re],
+            latency_ns: self.latency_sketch.clone(),
+        }
+    }
+
+    /// Windowed communication-matrix view of this run's remote fetches:
+    /// the virtual makespan is cut into `windows` equal slices and each
+    /// fetch's wire bytes are attributed `owner → this machine` in the
+    /// slice holding its batch's close time. Deterministic for the same
+    /// reason the cache report is.
+    pub fn comm_report(&self, label: &str, windows: usize) -> tel::CommReport {
+        let windows = windows.max(1);
+        let mut r = tel::CommReport::with_windows(label, self.machines.max(1), windows, |w| {
+            format!("w{w}")
+        });
+        let span = self.makespan.max(f64::MIN_POSITIVE);
+        for &(t, owner, bytes) in &self.fetch_events {
+            let w = (((t / span) * windows as f64) as usize).min(windows - 1);
+            r.record(w, owner as usize, self.part as usize, bytes);
+        }
+        r
     }
 }
 
@@ -368,6 +443,9 @@ pub struct InferenceServer<'a> {
     local: u64,
     static_hits: u64,
     bytes_fetched: u64,
+    /// `(batch close time, owner machine, wire bytes)` per remote
+    /// fetch, in batch order (feeds [`ServeReport::comm_report`]).
+    fetch_events: Vec<(f64, u32, u64)>,
     /// Overlay evictions already forwarded to telemetry.
     reported_evictions: u64,
     completions: Vec<Completion>,
@@ -434,6 +512,7 @@ impl<'a> InferenceServer<'a> {
             local: 0,
             static_hits: 0,
             bytes_fetched: 0,
+            fetch_events: Vec::new(),
             reported_evictions: 0,
             completions: Vec::new(),
             rejections: Vec::new(),
@@ -654,7 +733,9 @@ impl<'a> InferenceServer<'a> {
         let peers = self.peers;
         let overlay = &self.overlay;
         let wire = self.cfg.wire_scheme;
+        let wire_row_bytes = self.cfg.wire_scheme.row_bytes(dim);
         let mut to_admit: Vec<(VertexId, Vec<f32>)> = Vec::new();
+        let mut owner_bytes: Vec<(u32, u64)> = Vec::new();
         let x = store.gather(&mfg.nodes, |owner, ids| {
             let mut m = FeatureMatrix::zeros(ids.len(), dim);
             let mut need: Vec<(usize, VertexId)> = Vec::new();
@@ -667,6 +748,7 @@ impl<'a> InferenceServer<'a> {
             }
             if !need.is_empty() {
                 let req_ids: Vec<VertexId> = need.iter().map(|&(_, v)| v).collect();
+                owner_bytes.push((owner, (req_ids.len() * wire_row_bytes) as u64));
                 let served = peers[owner as usize].serve(&req_ids);
                 for (r, &(i, v)) in need.iter().enumerate() {
                     let out = m.row_mut(i as u32);
@@ -684,12 +766,14 @@ impl<'a> InferenceServer<'a> {
         for (v, row) in &to_admit {
             self.overlay.insert(*v, row);
         }
+        for (owner, bytes) in owner_bytes {
+            self.fetch_events.push((batch.close_time, owner, bytes));
+        }
 
         // Virtual-time pipeline: sample (CPU, released at the batch's
         // close time) → remote fetch (NIC) → slice + host-to-device copy
         // (copy engine) → forward (GPU). Serial DES resources pipeline
         // consecutive batches exactly like the training simulator.
-        let wire_row_bytes = self.cfg.wire_scheme.row_bytes(dim);
         let bytes = (n_fetch * wire_row_bytes) as f64;
         // Rows staged through host RAM before the device copy: CPU-resident
         // locals, overlay rows (host memory), and freshly fetched rows.
@@ -797,6 +881,26 @@ impl<'a> InferenceServer<'a> {
                 tel::record_sim_span(track, e.label.clone(), e.start, e.end - e.start);
             }
         }
+        // Fold the virtual-time pipeline stages into per-stage duration
+        // sketches. Stage = the span label minus its ` b<id>` suffix;
+        // names are collected in first-appearance order then sorted, so
+        // the result is a pure function of the (deterministic) DES
+        // trace.
+        let mut stage_sketches: Vec<(String, tel::QuantileSketch)> = Vec::new();
+        for e in self.des.trace() {
+            let stage = e.label.split(" b").next().unwrap_or(&e.label);
+            if !stage_sketches.iter().any(|(n, _)| n == stage) {
+                stage_sketches.push((stage.to_string(), tel::QuantileSketch::new()));
+            }
+            if let Some((_, sk)) = stage_sketches.iter_mut().find(|(n, _)| n == stage) {
+                sk.observe_secs(e.end - e.start);
+            }
+        }
+        stage_sketches.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut latency_sketch = tel::QuantileSketch::new();
+        for c in &self.completions {
+            latency_sketch.observe_secs(c.latency);
+        }
         let oc = self.overlay.counters();
         let cache = CacheStats {
             lookups: self.static_hits + oc.hits + oc.misses,
@@ -819,6 +923,14 @@ impl<'a> InferenceServer<'a> {
             batches: self.batches,
             cache,
             makespan: self.des.makespan(),
+            latency_sketch,
+            stage_sketches,
+            wire_scheme: self.cfg.wire_scheme,
+            overlay_scheme: self.cfg.overlay_scheme,
+            feature_dim: self.store.dim(),
+            part: self.store.part(),
+            machines: self.peers.len(),
+            fetch_events: self.fetch_events,
         }
     }
 }

@@ -15,10 +15,23 @@ use std::path::{Path, PathBuf};
 
 /// Reads the `SPP_TRACE` environment knob (set and not `"0"` ⇒ on) and
 /// enables recording accordingly. Returns whether tracing is on.
+///
+/// Also honours `SPP_SNAPSHOT=<secs>`: a positive number starts the
+/// live dashboard thread ([`crate::snapshot::start_snapshotter`]) that
+/// prints an `spp-top`-style view of the metrics registry to stderr
+/// every `<secs>` seconds. Snapshots imply metrics recording, so
+/// setting `SPP_SNAPSHOT` alone turns telemetry on too.
 pub fn init_from_env() -> bool {
-    let on = std::env::var("SPP_TRACE")
+    let mut on = std::env::var("SPP_TRACE")
         .map(|v| !v.is_empty() && v != "0")
         .unwrap_or(false);
+    if let Ok(v) = std::env::var("SPP_SNAPSHOT") {
+        if let Ok(secs) = v.trim().parse::<f64>() {
+            if secs > 0.0 && crate::snapshot::start_snapshotter(secs) {
+                on = true;
+            }
+        }
+    }
     if on {
         metrics::set_enabled(true);
     }
@@ -73,15 +86,16 @@ pub fn summary() -> String {
         }
     }
     if !snap.histograms.is_empty() {
-        out.push_str("-- histograms (count / mean / p50 / p95 / max) --\n");
+        out.push_str("-- histograms (count / mean / p50 / p99 / p999 / max) --\n");
         for (name, h) in &snap.histograms {
             let _ = writeln!(
                 out,
-                "  {name:<width$}  {:>10} / {:>12.1} / {:>10} / {:>10} / {:>10}",
+                "  {name:<width$}  {:>10} / {:>12.1} / {:>10} / {:>10} / {:>10} / {:>10}",
                 h.count,
                 h.mean(),
                 h.quantile(0.5),
-                h.quantile(0.95),
+                h.quantile(0.99),
+                h.quantile(0.999),
                 h.max
             );
         }
@@ -156,7 +170,14 @@ pub fn chrome_trace_json() -> String {
             push_chrome_event(&mut out, ev);
         }
     });
-    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out.push_str("],\"displayTimeUnit\":\"ms\"");
+    // Published attribution reports ride along as a top-level section
+    // (already canonical JSON; `cargo xtask validate-trace --attrib`
+    // checks it). Chrome/Perfetto ignore unknown top-level keys.
+    if let Some(attrib) = crate::attrib::attrib_json() {
+        let _ = write!(out, ",\"attrib\":{attrib}");
+    }
+    out.push('}');
     out
 }
 
@@ -210,12 +231,27 @@ mod tests {
         set_enabled(false);
         let json = chrome_trace_json();
         assert!(json.starts_with("{\"traceEvents\":["));
-        assert!(json.ends_with("\"displayTimeUnit\":\"ms\"}"));
+        assert!(json.contains("\"displayTimeUnit\":\"ms\""));
+        assert!(json.ends_with('}'));
         assert!(json.contains("\\\"quoted\\\"\\nname"));
         assert!(json.contains("\"ph\":\"M\""));
         assert!(json.contains("export.test.wall"));
         // Raw control characters must never appear inside the JSON.
         assert!(!json.bytes().any(|b| b < 0x20));
+    }
+
+    #[test]
+    fn chrome_trace_embeds_published_attribution() {
+        let _g = test_lock();
+        crate::attrib::publish_cache_report(crate::attrib::CacheReport {
+            label: "export-attrib-test".into(),
+            scheme: "f32".into(),
+            ..crate::attrib::CacheReport::default()
+        });
+        let json = chrome_trace_json();
+        assert!(json.contains("\"attrib\":{\"cache\": ["), "{json}");
+        assert!(json.contains("\"label\": \"export-attrib-test\""), "{json}");
+        crate::attrib::reset_attrib();
     }
 
     #[test]

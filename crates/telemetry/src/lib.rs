@@ -51,14 +51,23 @@
     )
 )]
 
+pub mod attrib;
 pub mod export;
 pub mod metrics;
+pub mod sketch;
+pub mod snapshot;
 pub mod span;
 pub mod stage;
 
+pub use attrib::{
+    attrib_json, publish_cache_report, publish_comm_report, reset_attrib, CacheReport, CommReport,
+    TierStats,
+};
 pub use export::{init_from_env, summary, write_trace_files};
 pub use metrics::{counter, enabled, gauge, histogram, set_enabled, snapshot};
-pub use span::{clock_ns, record_sim_span, sim_track, SpanGuard};
+pub use sketch::QuantileSketch;
+pub use snapshot::{render_dashboard, start_snapshotter};
+pub use span::{clock_ns, events_snapshot, record_sim_span, sim_track, Event, SpanGuard};
 pub use stage::PipelineStage;
 
 /// Opens a scoped span: `let _g = span!("crate.component.stage");`.

@@ -24,9 +24,12 @@ pub const MAX_COUNTERS: usize = 256;
 pub const MAX_GAUGES: usize = 64;
 /// Maximum distinct histograms (spans auto-register one per name).
 pub const MAX_HISTOGRAMS: usize = 96;
-/// Buckets per histogram: bucket 0 holds zero, bucket `b ≥ 1` holds
-/// `[2^(b-1), 2^b)`; the last bucket absorbs everything above.
-pub const HISTOGRAM_BUCKETS: usize = 40;
+/// Buckets per histogram. Since the sketch layer (DESIGN.md §15) the
+/// registry histograms share the [`crate::sketch`] bucket layout —
+/// exact unit buckets below 16, then 16 linear sub-buckets per octave —
+/// so snapshot quantiles carry the sketch's fixed relative-error bound
+/// ([`crate::sketch::REL_ERROR`]) instead of log2 resolution.
+pub const HISTOGRAM_BUCKETS: usize = crate::sketch::NUM_BUCKETS;
 
 /// Index marking a dead (no-op) handle.
 const DEAD: usize = usize::MAX;
@@ -316,25 +319,17 @@ impl Drop for HistTimer {
     }
 }
 
-/// Bucket index for sample `v`: 0 for zero, else `⌊log2 v⌋ + 1`, clamped
-/// to the last bucket.
+/// Bucket index for sample `v` (the shared sketch layout; see
+/// [`crate::sketch::sketch_bucket_of`]).
 #[inline]
 pub fn bucket_of(v: u64) -> usize {
-    if v == 0 {
-        0
-    } else {
-        ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
-    }
+    crate::sketch::sketch_bucket_of(v)
 }
 
 /// Smallest sample landing in bucket `b` (inverse of [`bucket_of`]).
 #[inline]
 pub fn bucket_floor(b: usize) -> u64 {
-    if b == 0 {
-        0
-    } else {
-        1u64 << (b - 1)
-    }
+    crate::sketch::sketch_bucket_floor(b)
 }
 
 /// Merged state of one histogram.
@@ -491,14 +486,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn bucket_edges_are_powers_of_two() {
-        assert_eq!(bucket_of(0), 0);
-        assert_eq!(bucket_of(1), 1);
-        assert_eq!(bucket_of(2), 2);
-        assert_eq!(bucket_of(3), 2);
-        assert_eq!(bucket_of(4), 3);
-        assert_eq!(bucket_of(1023), 10);
-        assert_eq!(bucket_of(1024), 11);
+    fn bucket_edges_follow_the_sketch_layout() {
+        // Exact below 16, then 16 linear sub-buckets per octave.
+        for v in 0..16u64 {
+            assert_eq!(bucket_of(v), v as usize);
+        }
+        assert_eq!(bucket_of(16), 16);
+        assert_eq!(bucket_of(17), 17);
+        assert_eq!(bucket_of(32), 32);
+        assert_eq!(bucket_of(33), 32); // two-wide sub-buckets in [32, 64)
         assert_eq!(bucket_of(u64::MAX), HISTOGRAM_BUCKETS - 1);
         // floor/bucket round-trip: floor(b) is the smallest v in b.
         for b in 1..HISTOGRAM_BUCKETS - 1 {

@@ -87,6 +87,15 @@ pub fn dropped_events() -> u64 {
     log().lock().dropped
 }
 
+/// Clones the current event log, oldest first. Harnesses use this to
+/// fold closed spans into per-stage [`crate::sketch::QuantileSketch`]es
+/// after a run; bounded by [`EVENT_CAPACITY`], so at most one ring of
+/// events is copied.
+#[must_use]
+pub fn events_snapshot() -> Vec<Event> {
+    log().lock().events.iter().cloned().collect()
+}
+
 fn push(ev: Event) {
     let mut l = log().lock();
     if l.events.len() >= EVENT_CAPACITY {

@@ -1,0 +1,86 @@
+//! Property-based tests for the mergeable quantile sketch: merge
+//! exactness and the advertised relative-error bound (DESIGN.md §15).
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use proptest::prelude::*;
+use spp_telemetry::sketch::{QuantileSketch, REL_ERROR};
+
+/// Exact q-quantile (ceil-rank order statistic) of a sorted stream —
+/// the same rank convention the sketch uses.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    assert!(n > 0);
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Splitting a stream into arbitrary chunks, sketching each chunk,
+    /// and merging must give the *bit-identical* sketch (and hence
+    /// identical quantiles) as sketching the whole stream in one pass:
+    /// merge is an elementwise counter add, so it is exact and
+    /// order-independent.
+    #[test]
+    fn merged_sketch_equals_whole_stream_sketch(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..400),
+        parts in 1usize..8,
+    ) {
+        let mut whole = QuantileSketch::new();
+        for &v in &values {
+            whole.observe(v);
+        }
+
+        let chunk = values.len().div_ceil(parts);
+        let mut merged = QuantileSketch::new();
+        // Merge right-to-left to also exercise order independence.
+        for piece in values.chunks(chunk).rev() {
+            let mut part = QuantileSketch::new();
+            for &v in piece {
+                part.observe(v);
+            }
+            merged.merge(&part);
+        }
+
+        prop_assert_eq!(&merged, &whole);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+        }
+        prop_assert_eq!(merged.count(), values.len() as u64);
+        prop_assert_eq!(merged.sum(), values.iter().map(|&v| u128::from(v)).sum::<u128>());
+    }
+
+    /// Every reported quantile must sit within the advertised relative
+    /// error of the true (ceil-rank) order statistic, and never above
+    /// it: the sketch reports bucket floors.
+    #[test]
+    fn quantiles_within_advertised_relative_error(
+        mut values in proptest::collection::vec(0u64..u64::MAX / 2, 1..400),
+        qs in proptest::collection::vec(0u32..=1000, 1..8),
+    ) {
+        let mut sk = QuantileSketch::new();
+        for &v in &values {
+            sk.observe(v);
+        }
+        values.sort_unstable();
+        for q in qs.into_iter().map(|m| f64::from(m) / 1000.0) {
+            let truth = exact_quantile(&values, q);
+            let got = sk.quantile(q);
+            prop_assert!(got <= truth, "q={q}: sketch {got} > exact {truth}");
+            let lower = truth as f64 / (1.0 + REL_ERROR);
+            prop_assert!(
+                got as f64 >= lower.floor(),
+                "q={q}: sketch {got} below error bound {lower} (exact {truth})"
+            );
+        }
+    }
+}

@@ -28,6 +28,7 @@
 )]
 
 pub mod baseline;
+pub mod benchdiff;
 pub mod callgraph;
 pub mod hotreport;
 pub mod hotrules;

@@ -45,7 +45,7 @@ use spp_xtask::baseline::{self, BaselineStatus};
 use spp_xtask::callgraph::CallGraph;
 use spp_xtask::items::FileItems;
 use spp_xtask::scan::SourceFile;
-use spp_xtask::{hotreport, hotrules, items, json, report, rules, scan, walk};
+use spp_xtask::{benchdiff, hotreport, hotrules, items, json, report, rules, scan, walk};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -64,9 +64,18 @@ fn usage() -> ExitCode {
                                                and explore the concurrency harnesses\n\
                                                (args pass through: --module <m>, --json,\n\
                                                --max-schedules <n>, --list)\n\
-           validate-trace <file> [--stages]    check an SPP_TRACE output file against\n\
+           validate-trace <file> [--stages] [--attrib]\n\
+                                               check an SPP_TRACE output file against\n\
                                                the exporter schema (--stages: require\n\
-                                               every Appendix-D pipeline stage)"
+                                               every Appendix-D pipeline stage;\n\
+                                               --attrib: require cache/comm attribution\n\
+                                               sections; present ones are always checked)\n\
+           bench-diff <old> <new> [--json]     compare bench reports (files, dirs of\n\
+                                               BENCH_*.json, or baseline bundles) under\n\
+                                               noise-aware per-metric thresholds; exits\n\
+                                               nonzero on regression\n\
+           bench-diff --snapshot <dir> <out>   bundle a directory of BENCH_*.json into\n\
+                                               a baseline file (results/bench_baseline.json)"
     );
     ExitCode::from(2)
 }
@@ -350,7 +359,202 @@ fn check_jsonl_trace(src: &str) -> Result<Vec<String>, String> {
     Ok(names)
 }
 
-fn run_validate_trace(path: &Path, require_stages: bool) -> ExitCode {
+/// Validates one `CacheReport` object of the trace's attribution
+/// section: tier counters present, tier hits partitioning `lookups`,
+/// and the latency sketch's bucket counts consistent with its total.
+fn check_cache_report(i: usize, c: &json::Json) -> Result<(), String> {
+    let label = c.get("label").and_then(json::Json::as_str).unwrap_or("?");
+    let ctx = |msg: &str| format!("attrib.cache[{i}] ({label}): {msg}");
+    let lookups = c
+        .get("lookups")
+        .and_then(json::Json::as_num)
+        .ok_or_else(|| ctx("missing numeric `lookups`"))?;
+    c.get("scheme")
+        .and_then(json::Json::as_str)
+        .ok_or_else(|| ctx("missing string `scheme`"))?;
+    let tiers = c
+        .get("tiers")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| ctx("missing `tiers` array"))?;
+    let mut hit_sum = 0.0;
+    for (t, tier) in tiers.iter().enumerate() {
+        tier.get("tier")
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| ctx(&format!("tier {t}: missing string `tier`")))?;
+        for key in ["hits", "misses", "evictions", "insertions", "bytes"] {
+            let v = tier
+                .get(key)
+                .and_then(json::Json::as_num)
+                .ok_or_else(|| ctx(&format!("tier {t}: missing numeric `{key}`")))?;
+            if v < 0.0 {
+                return Err(ctx(&format!("tier {t}: negative `{key}`")));
+            }
+        }
+        hit_sum += tier.get("hits").and_then(json::Json::as_num).unwrap_or(0.0);
+    }
+    // Counters are integers riding in f64 JSON numbers: compare exactly
+    // in the integer domain, not within a float margin.
+    if hit_sum as u64 != lookups as u64 {
+        return Err(ctx(&format!(
+            "tier hits sum to {hit_sum} but lookups is {lookups} (must partition)"
+        )));
+    }
+    let sketch = c
+        .get("latency_ns")
+        .ok_or_else(|| ctx("missing `latency_ns` sketch"))?;
+    let count = sketch
+        .get("count")
+        .and_then(json::Json::as_num)
+        .ok_or_else(|| ctx("latency_ns: missing numeric `count`"))?;
+    let buckets = sketch
+        .get("buckets")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| ctx("latency_ns: missing `buckets` array"))?;
+    let mut bucket_sum = 0.0;
+    for (b, pair) in buckets.iter().enumerate() {
+        let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+            ctx(&format!(
+                "latency_ns: bucket {b} is not an [index, count] pair"
+            ))
+        })?;
+        bucket_sum += pair[1]
+            .as_num()
+            .ok_or_else(|| ctx(&format!("latency_ns: bucket {b}: non-numeric count")))?;
+    }
+    if bucket_sum as u64 != count as u64 {
+        return Err(ctx(&format!(
+            "latency_ns: bucket counts sum to {bucket_sum} but count is {count}"
+        )));
+    }
+    Ok(())
+}
+
+/// Validates one `CommReport` object: every window's byte matrix must
+/// be square (`machines` rows of `machines` numeric columns).
+fn check_comm_report(i: usize, c: &json::Json) -> Result<(), String> {
+    let label = c.get("label").and_then(json::Json::as_str).unwrap_or("?");
+    let ctx = |msg: &str| format!("attrib.comm[{i}] ({label}): {msg}");
+    let machines = c
+        .get("machines")
+        .and_then(json::Json::as_num)
+        .ok_or_else(|| ctx("missing numeric `machines`"))?;
+    if machines < 1.0 || machines.fract() != 0.0 {
+        return Err(ctx("`machines` must be a positive integer"));
+    }
+    let k = machines as usize;
+    let windows = c
+        .get("windows")
+        .and_then(json::Json::as_arr)
+        .ok_or_else(|| ctx("missing `windows` array"))?;
+    for (w, win) in windows.iter().enumerate() {
+        let rows = win
+            .get("bytes")
+            .and_then(json::Json::as_arr)
+            .ok_or_else(|| ctx(&format!("window {w}: missing `bytes` matrix")))?;
+        if rows.len() != k {
+            return Err(ctx(&format!(
+                "window {w}: matrix has {} rows, expected {k} (must be square)",
+                rows.len()
+            )));
+        }
+        for (r, row) in rows.iter().enumerate() {
+            let cols = row
+                .as_arr()
+                .ok_or_else(|| ctx(&format!("window {w}: row {r} is not an array")))?;
+            if cols.len() != k {
+                return Err(ctx(&format!(
+                    "window {w}: row {r} has {} columns, expected {k} (must be square)",
+                    cols.len()
+                )));
+            }
+            for (cix, cell) in cols.iter().enumerate() {
+                let v = cell
+                    .as_num()
+                    .ok_or_else(|| ctx(&format!("window {w}: cell [{r}][{cix}] is not numeric")))?;
+                if v < 0.0 {
+                    return Err(ctx(&format!("window {w}: negative cell [{r}][{cix}]")));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Validates the trace's top-level `attrib` section. With
+/// `require = true`, a missing section (or one with no cache reports)
+/// is an error; otherwise only a present section is checked.
+fn check_attrib(doc: &json::Json, require: bool) -> Result<usize, String> {
+    let Some(attrib) = doc.get("attrib") else {
+        if require {
+            return Err("missing top-level `attrib` section (was attribution published?)".into());
+        }
+        return Ok(0);
+    };
+    let caches = attrib
+        .get("cache")
+        .and_then(json::Json::as_arr)
+        .ok_or("attrib: missing `cache` array")?;
+    let comms = attrib
+        .get("comm")
+        .and_then(json::Json::as_arr)
+        .ok_or("attrib: missing `comm` array")?;
+    if require && caches.is_empty() && comms.is_empty() {
+        return Err("attrib section is empty (was attribution published?)".into());
+    }
+    for (i, c) in caches.iter().enumerate() {
+        check_cache_report(i, c)?;
+    }
+    for (i, c) in comms.iter().enumerate() {
+        check_comm_report(i, c)?;
+    }
+    Ok(caches.len() + comms.len())
+}
+
+fn run_bench_diff(old: &Path, new: &Path, json_out: bool) -> ExitCode {
+    let load =
+        |p: &Path| -> Result<_, String> { Ok(benchdiff::flatten_set(&benchdiff::load_set(p)?)) };
+    let (old_set, new_set) = match (load(old), load(new)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let rep = benchdiff::diff(&old_set, &new_set);
+    if json_out {
+        print!("{}", benchdiff::render_json(&rep));
+    } else {
+        print!("{}", benchdiff::render_text(&rep));
+    }
+    if rep.pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_bench_snapshot(dir: &Path, out: &Path) -> ExitCode {
+    let set = match benchdiff::load_set(dir) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bench-diff: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let bundle = benchdiff::render_bundle(&set);
+    if let Err(e) = std::fs::write(out, &bundle) {
+        eprintln!("bench-diff: writing {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!(
+        "bench-diff: wrote baseline bundle with {} bench(es) to {}",
+        set.len(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+fn run_validate_trace(path: &Path, require_stages: bool, require_attrib: bool) -> ExitCode {
     let src = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -359,12 +563,24 @@ fn run_validate_trace(path: &Path, require_stages: bool) -> ExitCode {
         }
     };
     let jsonl = path.extension().is_some_and(|e| e == "jsonl");
+    let mut attrib_reports = 0usize;
     let names = if jsonl {
+        if require_attrib {
+            eprintln!(
+                "validate-trace: {}: --attrib applies to Chrome traces (the JSONL \
+                 stream carries no attribution section)",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
         check_jsonl_trace(&src)
     } else {
         json::parse(&src)
             .map_err(|e| format!("not valid JSON: {e}"))
-            .and_then(|doc| check_chrome_trace(&doc))
+            .and_then(|doc| {
+                attrib_reports = check_attrib(&doc, require_attrib)?;
+                check_chrome_trace(&doc)
+            })
     };
     let names = match names {
         Ok(n) => n,
@@ -389,13 +605,18 @@ fn run_validate_trace(path: &Path, require_stages: bool) -> ExitCode {
         }
     }
     println!(
-        "validate-trace: {}: ok ({} events{})",
+        "validate-trace: {}: ok ({} events{}{})",
         path.display(),
         names.len(),
         if require_stages {
             ", all pipeline stages present"
         } else {
             ""
+        },
+        if attrib_reports > 0 {
+            format!(", {attrib_reports} attribution report(s) valid")
+        } else {
+            String::new()
         }
     );
     ExitCode::SUCCESS
@@ -452,15 +673,38 @@ fn main() -> ExitCode {
         "validate-trace" => {
             let mut file = None;
             let mut stages = false;
+            let mut attrib = false;
             for a in args.iter().skip(1) {
                 match a.as_str() {
                     "--stages" => stages = true,
+                    "--attrib" => attrib = true,
                     _ if file.is_none() && !a.starts_with('-') => file = Some(PathBuf::from(a)),
                     _ => return usage(),
                 }
             }
             let Some(file) = file else { return usage() };
-            run_validate_trace(&file, stages)
+            run_validate_trace(&file, stages, attrib)
+        }
+        "bench-diff" => {
+            let mut json_out = false;
+            let mut snapshot = false;
+            let mut paths: Vec<PathBuf> = Vec::new();
+            for a in args.iter().skip(1) {
+                match a.as_str() {
+                    "--json" => json_out = true,
+                    "--snapshot" => snapshot = true,
+                    _ if !a.starts_with('-') => paths.push(PathBuf::from(a)),
+                    _ => return usage(),
+                }
+            }
+            if paths.len() != 2 {
+                return usage();
+            }
+            if snapshot {
+                run_bench_snapshot(&paths[0], &paths[1])
+            } else {
+                run_bench_diff(&paths[0], &paths[1], json_out)
+            }
         }
         _ => usage(),
     }

@@ -1,0 +1,146 @@
+//! End-to-end tests for `cargo xtask bench-diff`, driven through the
+//! compiled binary: the gate's two acceptance properties are (a) zero
+//! regressions on identical inputs and (b) a synthetic 20 % kernel
+//! slowdown is flagged and fails the run.
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// The repository's committed full-scale kernel report: the gate must
+/// work against real artifacts, not only synthetic fixtures.
+fn repo_kernels_json() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_kernels.json")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_spp-xtask"))
+        .args(args)
+        .output()
+        .expect("spawn spp-xtask")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spp-bench-diff-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn bench_diff(old: &Path, new: &Path, json: bool) -> Output {
+    let mut args = vec!["bench-diff", old.to_str().unwrap(), new.to_str().unwrap()];
+    if json {
+        args.push("--json");
+    }
+    run(&args)
+}
+
+#[test]
+fn identical_inputs_report_zero_regressions_twice() {
+    let kernels = repo_kernels_json();
+    // Run the exact same comparison twice: both runs must pass with
+    // zero regressions (the gate is deterministic, not flaky).
+    for _ in 0..2 {
+        let out = bench_diff(&kernels, &kernels, false);
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "stdout: {stdout}\nstderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(stdout.contains("0 regression(s)"), "stdout: {stdout}");
+        assert!(stdout.contains("PASS"), "stdout: {stdout}");
+    }
+}
+
+#[test]
+fn synthetic_20_percent_slowdown_fails_the_gate() {
+    let src = std::fs::read_to_string(repo_kernels_json()).unwrap();
+    // Inject a 20 % slowdown into the blocked-matmul GFLOP/s by
+    // scaling the committed value down in a copy of the report.
+    let needle = "\"blocked\": ";
+    let start = src.find(needle).unwrap() + needle.len();
+    let end = start + src[start..].find([',', '}']).unwrap();
+    let old_val: f64 = src[start..end].trim().parse().unwrap();
+    let slowed = format!("{}{:.3}{}", &src[..start], old_val * 0.8, &src[end..]);
+    assert_ne!(src, slowed);
+
+    let dir = scratch("slowdown");
+    let slowed_path = dir.join("BENCH_kernels.json");
+    std::fs::write(&slowed_path, slowed).unwrap();
+
+    let out = bench_diff(&repo_kernels_json(), &slowed_path, false);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !out.status.success(),
+        "a 20% GFLOP/s slowdown must fail the gate; stdout: {stdout}"
+    );
+    assert_eq!(out.status.code(), Some(1), "regression exit code");
+    assert!(
+        stdout.contains("REGRESSION kernels.matmul_gflops.blocked"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("FAIL"), "stdout: {stdout}");
+
+    // The JSON rendering names the same regression.
+    let out = bench_diff(&repo_kernels_json(), &slowed_path, true);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("\"pass\": false"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("kernels.matmul_gflops.blocked"),
+        "stdout: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn snapshot_bundle_roundtrips_against_its_source_dir() {
+    let dir = scratch("snapshot");
+    std::fs::copy(repo_kernels_json(), dir.join("BENCH_kernels.json")).unwrap();
+    let bundle = dir.join("bench_baseline.json");
+    let out = run(&[
+        "bench-diff",
+        "--snapshot",
+        dir.to_str().unwrap(),
+        bundle.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Bundle vs the directory it was built from: zero regressions.
+    let out = bench_diff(&bundle, &dir, false);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("0 regression(s)"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn removed_bench_is_a_regression() {
+    let dir = scratch("removed");
+    // New side has no BENCH files at all -> load error (exit 2), so
+    // give it an unrelated bench instead: the kernels metrics vanish.
+    std::fs::write(
+        dir.join("BENCH_other.json"),
+        r#"{"schema_version": 1, "bench": "other", "something_per_s": 5.0}"#,
+    )
+    .unwrap();
+    let out = bench_diff(&repo_kernels_json(), &dir, false);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(!out.status.success(), "stdout: {stdout}");
+    assert!(stdout.contains("removed"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&["bench-diff", "/no/such/old.json", "/no/such/new.json"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["bench-diff", "only-one-path"]);
+    assert_eq!(out.status.code(), Some(2));
+}

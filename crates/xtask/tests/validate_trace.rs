@@ -32,6 +32,11 @@ fn validate(file: &str, stages: bool) -> Output {
     run(&args)
 }
 
+fn validate_attrib(file: &str) -> Output {
+    let path = fixture(file);
+    run(&["validate-trace", path.to_str().unwrap(), "--attrib"])
+}
+
 #[test]
 fn valid_chrome_trace_passes_with_all_stages() {
     let out = validate("trace_valid.json", true);
@@ -99,4 +104,63 @@ fn schema_violation_is_rejected() {
 fn unreadable_file_exits_with_usage_error() {
     let out = validate("no_such_trace.json", false);
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn valid_attribution_section_passes_under_attrib_flag() {
+    let out = validate_attrib("trace_attrib_valid.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("2 attribution report(s) valid"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn missing_attribution_fails_only_under_attrib_flag() {
+    // trace_valid.json has no attrib section: fine without the flag,
+    // an error with it.
+    let lenient = validate("trace_valid.json", false);
+    assert!(lenient.status.success());
+    let strict = validate_attrib("trace_valid.json");
+    assert!(!strict.status.success());
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(
+        stderr.contains("missing top-level `attrib`"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn tier_hits_must_partition_lookups() {
+    let out = validate_attrib("trace_attrib_bad_partition.json");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("must partition"), "stderr: {stderr}");
+}
+
+#[test]
+fn comm_matrix_must_be_square() {
+    let out = validate_attrib("trace_attrib_bad_matrix.json");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("must be square"), "stderr: {stderr}");
+}
+
+#[test]
+fn sketch_bucket_counts_must_match_total() {
+    // A present-but-inconsistent attrib section fails even WITHOUT the
+    // --attrib flag: present sections are always validated.
+    let out = validate("trace_attrib_bad_buckets.json", false);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bucket counts sum to 2 but count is 5"),
+        "stderr: {stderr}"
+    );
 }
