@@ -112,10 +112,35 @@ impl PartitionedFeatureStore {
         cache: StaticCache,
         cache_scheme: QuantScheme,
     ) -> Self {
+        // A plain matrix is the degenerate (fully resident, f32) store;
+        // the store-reading path copies rows bit-for-bit, so this
+        // delegation preserves the historical behavior exactly.
+        Self::build_from_store(part, layout, features, beta, cache, cache_scheme)
+    }
+
+    /// [`PartitionedFeatureStore::build_quantized`] reading rows through
+    /// a [`spp_store::FeatureStore`] instead of a resident matrix — the
+    /// out-of-core path (DESIGN.md §16). `features` must be addressed by
+    /// *reordered* (new) ids, like the matrix variant; a store built in
+    /// original-id order wants a `spp_store::PermutedStore` wrapper.
+    /// Only the machine's local slice and its cache members are ever
+    /// read, so a build touches a fraction of the store's pages.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`PartitionedFeatureStore::build`].
+    pub fn build_from_store(
+        part: u32,
+        layout: &ReorderedLayout,
+        features: &dyn spp_store::FeatureStore,
+        beta: f64,
+        cache: StaticCache,
+        cache_scheme: QuantScheme,
+    ) -> Self {
         assert_eq!(
             features.num_rows(),
             layout.num_vertices(),
-            "feature matrix must cover all vertices"
+            "feature store must cover all vertices"
         );
         let range = layout.part_range(part);
         let ids: Vec<VertexId> = (range.start as VertexId..range.end as VertexId).collect();

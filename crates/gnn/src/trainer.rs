@@ -11,6 +11,7 @@ use rand::SeedableRng;
 use spp_graph::{Dataset, VertexId};
 use spp_pool::WorkerPool;
 use spp_sampler::{batch_stream_seed, Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
+use spp_store::FeatureStore;
 use spp_tensor::{Adam, Matrix, Optimizer};
 use std::sync::Arc;
 
@@ -116,6 +117,11 @@ pub struct Trainer<'a> {
     ds: &'a Dataset,
     cfg: TrainConfig,
     model: GnnModel,
+    /// Optional out-of-core feature source. When set, batch feature
+    /// gathers read rows through this store instead of `ds.features`;
+    /// the in-RAM matrix remains the source of truth for dimensions and
+    /// full-batch inference. An f32 store yields bit-identical training.
+    store: Option<&'a dyn FeatureStore>,
 }
 
 impl<'a> Trainer<'a> {
@@ -127,7 +133,34 @@ impl<'a> Trainer<'a> {
         dims.extend(std::iter::repeat_n(cfg.hidden_dim, l - 1));
         dims.push(ds.num_classes);
         let model = GnnModel::new(cfg.arch, &dims, cfg.seed).with_dropout(cfg.dropout);
-        Self { ds, cfg, model }
+        Self {
+            ds,
+            cfg,
+            model,
+            store: None,
+        }
+    }
+
+    /// Reads minibatch features through `store` instead of the dataset's
+    /// resident matrix (the out-of-core training path, DESIGN.md §16).
+    /// The store must be addressed by the same vertex ids as the dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's shape disagrees with the dataset's features.
+    pub fn with_feature_store(mut self, store: &'a dyn FeatureStore) -> Self {
+        assert_eq!(
+            store.num_rows(),
+            self.ds.features.num_rows(),
+            "feature store row count must match the dataset"
+        );
+        assert_eq!(
+            store.dim(),
+            self.ds.features.dim(),
+            "feature store dim must match the dataset"
+        );
+        self.store = Some(store);
+        self
     }
 
     /// The model (e.g. for inspection after training).
@@ -142,8 +175,19 @@ impl<'a> Trainer<'a> {
 
     /// Gathers feature rows for an MFG's node list into a dense matrix.
     pub fn gather_features(ds: &Dataset, mfg: &Mfg) -> Matrix {
-        let f = ds.features.gather(&mfg.nodes);
-        Matrix::from_flat(mfg.num_nodes(), ds.features.dim(), f.as_flat().to_vec())
+        Self::gather_features_from(&ds.features, mfg)
+    }
+
+    /// [`Trainer::gather_features`] reading rows through any
+    /// [`FeatureStore`]. For a resident f32 matrix this produces the
+    /// exact bytes of the historical gather path.
+    pub fn gather_features_from(feats: &dyn FeatureStore, mfg: &Mfg) -> Matrix {
+        let dim = feats.dim();
+        let mut flat = vec![0.0f32; mfg.num_nodes() * dim];
+        for (i, &v) in mfg.nodes.iter().enumerate() {
+            feats.read_row_into(v, &mut flat[i * dim..(i + 1) * dim]);
+        }
+        Matrix::from_flat(mfg.num_nodes(), dim, flat)
     }
 
     /// Runs the full training loop, then evaluates on val and test.
@@ -176,6 +220,7 @@ impl<'a> Trainer<'a> {
     /// the output does not depend on which worker runs this or when.
     fn prepare_batch(
         ds: &Dataset,
+        feats: &dyn FeatureStore,
         sampler: &NodeWiseSampler<'_>,
         seed: u64,
         epoch: u64,
@@ -184,7 +229,7 @@ impl<'a> Trainer<'a> {
     ) -> (Mfg, Matrix, Arc<Vec<u32>>) {
         let mut rng = StdRng::seed_from_u64(batch_stream_seed(seed, epoch, batch_idx));
         let mfg = sampler.sample(batch, &mut rng);
-        let x = Self::gather_features(ds, &mfg);
+        let x = Self::gather_features_from(feats, &mfg);
         let labels: Arc<Vec<u32>> =
             Arc::new(mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect());
         (mfg, x, labels)
@@ -210,6 +255,8 @@ impl<'a> Trainer<'a> {
         )
         .collect();
         let ds = self.ds;
+        let feats: &dyn FeatureStore = self.store.unwrap_or(&self.ds.features);
+        feats.begin_epoch();
         let seed = self.cfg.seed;
         let mut total_loss = 0.0f64;
         let mut batches = 0usize;
@@ -223,7 +270,15 @@ impl<'a> Trainer<'a> {
             let prepped = {
                 let _prep = spp_telemetry::span!("gnn.trainer.wave_prep");
                 pool.run_jobs(wave.len(), |j| {
-                    Self::prepare_batch(ds, &sampler, seed, epoch, (base + j) as u64, &wave[j])
+                    Self::prepare_batch(
+                        ds,
+                        feats,
+                        &sampler,
+                        seed,
+                        epoch,
+                        (base + j) as u64,
+                        &wave[j],
+                    )
                 })
             };
             let _update = spp_telemetry::span!("gnn.trainer.wave_update");
@@ -288,11 +343,12 @@ impl<'a> Trainer<'a> {
         let batch_list: Vec<Vec<VertexId>> =
             MinibatchIter::new(ids, self.cfg.batch_size, seed, 0).collect();
         let ds = self.ds;
+        let feats: &dyn FeatureStore = self.store.unwrap_or(&self.ds.features);
         let model = &self.model;
         let per_batch = self.pool().run_jobs(batch_list.len(), |b| {
             let mut rng = StdRng::seed_from_u64(batch_stream_seed(seed, 0, b as u64));
             let mfg = sampler.sample(&batch_list[b], &mut rng);
-            let x = Self::gather_features(ds, &mfg);
+            let x = Self::gather_features_from(feats, &mfg);
             let fwd = model.forward(x, &mfg, false, &mut rng);
             let preds = predictions(fwd.logits_value());
             let labels: Vec<u32> = mfg.seeds().iter().map(|&v| ds.labels[v as usize]).collect();

@@ -1,0 +1,99 @@
+//! Bit-identity of training through the `FeatureStore` trait: routing
+//! batch gathers through an f32 paged store (in-RAM or mmap-backed)
+//! must reproduce the historical `&FeatureMatrix` path exactly — same
+//! loss curve to the last bit, same accuracies.
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use spp_gnn::{TrainConfig, TrainReport, Trainer};
+use spp_graph::dataset::SyntheticSpec;
+use spp_graph::{Dataset, QuantScheme};
+use spp_sampler::Fanouts;
+use spp_store::{InRamStore, MmapStore, StoreBuilder};
+
+fn fixture() -> (Dataset, TrainConfig) {
+    let ds = SyntheticSpec::new("store-train", 400, 10.0, 8, 4)
+        .split_fractions(0.4, 0.1, 0.1)
+        .feature_signal(1.5)
+        .seed(2)
+        .build();
+    let cfg = TrainConfig {
+        hidden_dim: 16,
+        fanouts: Fanouts::new(vec![5, 5]),
+        eval_fanouts: Fanouts::new(vec![8, 8]),
+        batch_size: 32,
+        lr: 0.01,
+        epochs: 3,
+        ..TrainConfig::default()
+    };
+    (ds, cfg)
+}
+
+fn assert_reports_identical(a: &TrainReport, b: &TrainReport, what: &str) {
+    assert_eq!(a.epochs.len(), b.epochs.len(), "{what}: epoch count");
+    for (ea, eb) in a.epochs.iter().zip(&b.epochs) {
+        assert_eq!(ea.batches, eb.batches, "{what}: epoch {} batches", ea.epoch);
+        assert!(
+            ea.loss.to_bits() == eb.loss.to_bits(),
+            "{what}: epoch {} loss {} != {}",
+            ea.epoch,
+            ea.loss,
+            eb.loss
+        );
+    }
+    assert!(
+        a.val_accuracy.to_bits() == b.val_accuracy.to_bits(),
+        "{what}: val"
+    );
+    assert!(
+        a.test_accuracy.to_bits() == b.test_accuracy.to_bits(),
+        "{what}: test"
+    );
+}
+
+/// An f32 `InRamStore` is a lossless re-encoding of the feature matrix,
+/// so every gathered batch — and therefore every forward pass, loss,
+/// and accuracy — is bit-identical to training straight off the matrix.
+#[test]
+fn training_through_inram_store_is_bit_identical() {
+    let (ds, cfg) = fixture();
+    let baseline = Trainer::new(&ds, cfg.clone()).train();
+    assert!(!baseline.epochs.is_empty());
+
+    let store = InRamStore::from_matrix(&ds.features, QuantScheme::F32, 4096);
+    let through_store = Trainer::new(&ds, cfg).with_feature_store(&store).train();
+    assert_reports_identical(&baseline, &through_store, "inram/f32");
+}
+
+/// Same contract through the full on-disk path: pages written by
+/// `StoreBuilder`, read back via positioned reads (`MmapStore`).
+#[test]
+fn training_through_mmap_store_is_bit_identical() {
+    let (ds, cfg) = fixture();
+    let baseline = Trainer::new(&ds, cfg.clone()).train();
+
+    let dir = std::env::temp_dir().join(format!("spp_gnn_store_train_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    StoreBuilder::new(QuantScheme::F32)
+        .page_bytes(4096)
+        .build_from_matrix(&dir, &ds.features, None)
+        .unwrap();
+    let store = MmapStore::open(&dir).unwrap();
+    let through_store = Trainer::new(&ds, cfg).with_feature_store(&store).train();
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    assert_reports_identical(&baseline, &through_store, "mmap/f32");
+    // The trait path is observable: training actually touched pages.
+    let stats = spp_store::FeatureStore::stats(&store);
+    assert!(
+        stats.pages_read > 0,
+        "training never read through the store"
+    );
+}

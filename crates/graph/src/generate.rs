@@ -117,75 +117,150 @@ impl GeneratorConfig {
     /// undirected edges is close to (at most) `target_edges` after removing
     /// duplicates and self-loops.
     pub fn build(&self) -> CsrGraph {
-        let mut rng = StdRng::seed_from_u64(self.seed);
         let mut b = GraphBuilder::with_capacity(self.n, self.target_edges * 2);
-        match self.family {
-            GraphFamily::Rmat { a, b: pb, c } => {
-                let levels = (self.n as f64).log2().ceil() as usize;
-                for _ in 0..self.target_edges {
-                    let (src, dst) = rmat_edge(&mut rng, self.n, levels, a, pb, c);
-                    if src != dst {
-                        b.add_undirected_edge(src, dst);
-                    }
-                }
-            }
-            GraphFamily::ErdosRenyi => {
-                for _ in 0..self.target_edges {
-                    let src = rng.gen_range(0..self.n) as VertexId;
-                    let dst = rng.gen_range(0..self.n) as VertexId;
-                    if src != dst {
-                        b.add_undirected_edge(src, dst);
-                    }
-                }
-            }
-            GraphFamily::PlantedPartition { blocks, homophily } => {
-                // Blocks are contiguous id ranges so downstream code can
-                // recover ground truth as `v * blocks / n`.
-                let block_of = |v: usize| v * blocks / self.n;
-                for _ in 0..self.target_edges {
-                    let src = rng.gen_range(0..self.n);
-                    let dst = if rng.gen::<f64>() < homophily {
-                        // Pick within src's block.
-                        let blk = block_of(src);
-                        let lo = (blk * self.n).div_ceil(blocks);
-                        let hi = ((blk + 1) * self.n).div_ceil(blocks);
-                        rng.gen_range(lo..hi.max(lo + 1)).min(self.n - 1)
-                    } else {
-                        rng.gen_range(0..self.n)
-                    };
-                    if src != dst {
-                        b.add_undirected_edge(src as VertexId, dst as VertexId);
-                    }
-                }
-            }
-            GraphFamily::ChungLu { exponent } => {
-                // Weight w_i ~ i^{-1/(exponent-1)}; sample endpoints
-                // proportional to weight via the inverse-CDF trick on a
-                // precomputed prefix-sum table.
-                let gamma = 1.0 / (exponent - 1.0);
-                let weights: Vec<f64> =
-                    (0..self.n).map(|i| ((i + 1) as f64).powf(-gamma)).collect();
-                let mut cdf = Vec::with_capacity(self.n);
-                let mut acc = 0.0;
-                for &w in &weights {
-                    acc += w;
-                    cdf.push(acc);
-                }
-                let total = acc;
-                let draw = |rng: &mut StdRng| -> VertexId {
-                    let x = rng.gen::<f64>() * total;
-                    cdf.partition_point(|&c| c < x).min(self.n - 1) as VertexId
-                };
-                for _ in 0..self.target_edges {
-                    let src = draw(&mut rng);
-                    let dst = draw(&mut rng);
-                    if src != dst {
-                        b.add_undirected_edge(src, dst);
-                    }
-                }
-            }
+        for (src, dst) in self.edges() {
+            b.add_edge(src, dst);
         }
         b.build()
+    }
+
+    /// Streams the generator's directed edges (both directions of each
+    /// accepted undirected pair) without materializing an edge list.
+    ///
+    /// The stream performs exactly the RNG draws [`Self::build`] would —
+    /// `build()` is now `GraphBuilder` fed from this iterator — so the
+    /// out-of-core path (`spp-store`'s `StreamingCsrBuilder`) consumes
+    /// the identical edge sequence and produces a bitwise-equal graph.
+    pub fn edges(&self) -> EdgeStream {
+        let rng = StdRng::seed_from_u64(self.seed);
+        let kind = match self.family {
+            GraphFamily::Rmat { a, b, c } => StreamKind::Rmat {
+                levels: (self.n as f64).log2().ceil() as usize,
+                a,
+                b,
+                c,
+            },
+            GraphFamily::ErdosRenyi => StreamKind::ErdosRenyi,
+            GraphFamily::PlantedPartition { blocks, homophily } => {
+                StreamKind::PlantedPartition { blocks, homophily }
+            }
+            GraphFamily::ChungLu { exponent } => {
+                // Weight w_i ~ i^{-1/(exponent-1)}; endpoints drawn
+                // proportional to weight via the inverse-CDF trick on a
+                // precomputed prefix-sum table (no RNG consumed here).
+                let gamma = 1.0 / (exponent - 1.0);
+                let mut cdf = Vec::with_capacity(self.n);
+                let mut acc = 0.0;
+                for i in 0..self.n {
+                    acc += ((i + 1) as f64).powf(-gamma);
+                    cdf.push(acc);
+                }
+                StreamKind::ChungLu { cdf, total: acc }
+            }
+        };
+        EdgeStream {
+            rng,
+            n: self.n,
+            remaining: self.target_edges,
+            kind,
+            pending: None,
+        }
+    }
+}
+
+/// Which family an [`EdgeStream`] draws from, with the family's
+/// precomputed tables.
+enum StreamKind {
+    Rmat {
+        levels: usize,
+        a: f64,
+        b: f64,
+        c: f64,
+    },
+    ErdosRenyi,
+    PlantedPartition {
+        blocks: usize,
+        homophily: f64,
+    },
+    ChungLu {
+        cdf: Vec<f64>,
+        total: f64,
+    },
+}
+
+/// Streaming edge source for [`GeneratorConfig`]: yields directed edges
+/// in generation order, one `(src, dst)` then its reverse `(dst, src)`
+/// per accepted pair, self-loops dropped at the draw.
+pub struct EdgeStream {
+    rng: StdRng,
+    n: usize,
+    remaining: usize,
+    kind: StreamKind,
+    pending: Option<(VertexId, VertexId)>,
+}
+
+impl EdgeStream {
+    /// Number of vertices edges are drawn over.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn draw_pair(&mut self) -> (VertexId, VertexId) {
+        match &self.kind {
+            StreamKind::Rmat { levels, a, b, c } => {
+                rmat_edge(&mut self.rng, self.n, *levels, *a, *b, *c)
+            }
+            StreamKind::ErdosRenyi => {
+                let src = self.rng.gen_range(0..self.n) as VertexId;
+                let dst = self.rng.gen_range(0..self.n) as VertexId;
+                (src, dst)
+            }
+            StreamKind::PlantedPartition { blocks, homophily } => {
+                // Blocks are contiguous id ranges so downstream code can
+                // recover ground truth as `v * blocks / n`.
+                let (blocks, homophily) = (*blocks, *homophily);
+                let src = self.rng.gen_range(0..self.n);
+                let dst = if self.rng.gen::<f64>() < homophily {
+                    // Pick within src's block.
+                    let blk = src * blocks / self.n;
+                    let lo = (blk * self.n).div_ceil(blocks);
+                    let hi = ((blk + 1) * self.n).div_ceil(blocks);
+                    self.rng.gen_range(lo..hi.max(lo + 1)).min(self.n - 1)
+                } else {
+                    self.rng.gen_range(0..self.n)
+                };
+                (src as VertexId, dst as VertexId)
+            }
+            StreamKind::ChungLu { cdf, total } => {
+                let n = self.n;
+                let draw = |rng: &mut StdRng| -> VertexId {
+                    let x = rng.gen::<f64>() * total;
+                    cdf.partition_point(|&c| c < x).min(n - 1) as VertexId
+                };
+                let src = draw(&mut self.rng);
+                let dst = draw(&mut self.rng);
+                (src, dst)
+            }
+        }
+    }
+}
+
+impl Iterator for EdgeStream {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<(VertexId, VertexId)> {
+        if let Some(rev) = self.pending.take() {
+            return Some(rev);
+        }
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let (src, dst) = self.draw_pair();
+            if src != dst {
+                self.pending = Some((dst, src));
+                return Some((src, dst));
+            }
+        }
+        None
     }
 }
 
@@ -239,6 +314,32 @@ pub fn citation_graph(
     tail: f64,
     seed: u64,
 ) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, target_edges * 2);
+    for (src, dst) in citation_edges(n, target_edges, blocks, homophily, tail, seed) {
+        b.add_edge(src, dst);
+    }
+    b.build()
+}
+
+/// Streams the directed edges of [`citation_graph`] without
+/// materializing the edge list: the constructor draws the same n Pareto
+/// popularity weights [`citation_graph`] would, then the iterator
+/// performs the identical per-edge draws — `citation_graph()` is now
+/// `GraphBuilder` fed from this stream, so consuming it through
+/// `spp-store`'s `StreamingCsrBuilder` yields a bitwise-equal graph at
+/// any scale.
+///
+/// # Panics
+///
+/// Panics on the same argument violations as [`citation_graph`].
+pub fn citation_edges(
+    n: usize,
+    target_edges: usize,
+    blocks: usize,
+    homophily: f64,
+    tail: f64,
+    seed: u64,
+) -> CitationEdges {
     assert!(blocks > 0, "need at least one block");
     assert!(
         (0.0..=1.0).contains(&homophily),
@@ -249,40 +350,74 @@ pub fn citation_graph(
     // Per-vertex Pareto(tail) popularity weights, capped so no vertex can
     // absorb more than ~a quarter of all edge endpoints.
     let cap = (target_edges as f64 / 2.0).max(4.0);
-    let weights: Vec<f64> = (0..n)
-        .map(|_| {
-            let u: f64 = rng.gen::<f64>().max(1e-12);
-            u.powf(-1.0 / tail).min(cap)
-        })
-        .collect();
     // Global prefix sums; block draws restrict to [S[lo], S[hi]).
     let mut prefix = Vec::with_capacity(n + 1);
     prefix.push(0.0f64);
     let mut acc = 0.0f64;
-    for &w in &weights {
-        acc += w;
+    for _ in 0..n {
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        acc += u.powf(-1.0 / tail).min(cap);
         prefix.push(acc);
     }
-    let draw_range = |rng: &mut StdRng, lo: usize, hi: usize| -> usize {
-        let x = prefix[lo] + rng.gen::<f64>() * (prefix[hi] - prefix[lo]);
-        (prefix.partition_point(|&c| c <= x) - 1).clamp(lo, hi - 1)
-    };
-    let mut b = GraphBuilder::with_capacity(n, target_edges * 2);
-    for _ in 0..target_edges {
-        let src = draw_range(&mut rng, 0, n);
-        let dst = if rng.gen::<f64>() < homophily {
-            let blk = src * blocks / n;
-            let lo = (blk * n).div_ceil(blocks);
-            let hi = ((blk + 1) * n).div_ceil(blocks).min(n);
-            draw_range(&mut rng, lo, hi)
-        } else {
-            draw_range(&mut rng, 0, n)
-        };
-        if src != dst {
-            b.add_undirected_edge(src as VertexId, dst as VertexId);
-        }
+    CitationEdges {
+        rng,
+        n,
+        blocks,
+        homophily,
+        remaining: target_edges,
+        prefix,
+        pending: None,
     }
-    b.build()
+}
+
+/// Streaming edge source for [`citation_graph`] (see [`citation_edges`]).
+pub struct CitationEdges {
+    rng: StdRng,
+    n: usize,
+    blocks: usize,
+    homophily: f64,
+    remaining: usize,
+    prefix: Vec<f64>,
+    pending: Option<(VertexId, VertexId)>,
+}
+
+impl CitationEdges {
+    /// Number of vertices edges are drawn over.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn draw_range(&mut self, lo: usize, hi: usize) -> usize {
+        let x = self.prefix[lo] + self.rng.gen::<f64>() * (self.prefix[hi] - self.prefix[lo]);
+        (self.prefix.partition_point(|&c| c <= x) - 1).clamp(lo, hi - 1)
+    }
+}
+
+impl Iterator for CitationEdges {
+    type Item = (VertexId, VertexId);
+
+    fn next(&mut self) -> Option<(VertexId, VertexId)> {
+        if let Some(rev) = self.pending.take() {
+            return Some(rev);
+        }
+        while self.remaining > 0 {
+            self.remaining -= 1;
+            let src = self.draw_range(0, self.n);
+            let dst = if self.rng.gen::<f64>() < self.homophily {
+                let blk = src * self.blocks / self.n;
+                let lo = (blk * self.n).div_ceil(self.blocks);
+                let hi = ((blk + 1) * self.n).div_ceil(self.blocks).min(self.n);
+                self.draw_range(lo, hi)
+            } else {
+                self.draw_range(0, self.n)
+            };
+            if src != dst {
+                self.pending = Some((dst as VertexId, src as VertexId));
+                return Some((src as VertexId, dst as VertexId));
+            }
+        }
+        None
+    }
 }
 
 /// Generates community-structured citation edges: each edge has a

@@ -46,7 +46,7 @@ pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use dataset::{Dataset, FeatureMatrix, Split, SplitKind};
 pub use io::{GraphIoError, LoadError};
-pub use perm::Permutation;
+pub use perm::{PagedPermutation, Permutation};
 pub use quant::{QuantScheme, QuantizedFeatures};
 
 /// Vertex identifier. `u32` suffices for the scaled-down benchmark graphs

@@ -143,6 +143,77 @@ impl Permutation {
     }
 }
 
+/// A vertex permutation with page structure: rows placed in score order
+/// and grouped into fixed-size pages.
+///
+/// Out-of-core, the paper's VIP ordering becomes a *page locality*
+/// optimization: sorting rows by descending VIP score before writing a
+/// paged store (`spp-store`) concentrates the frequently sampled
+/// vertices onto the first few pages, so an epoch touches far fewer
+/// distinct pages than a scattered layout at the same page size. This
+/// type couples the ordering [`Permutation`] with the page geometry it
+/// was built for.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PagedPermutation {
+    perm: Permutation,
+    page_rows: usize,
+}
+
+impl PagedPermutation {
+    /// Orders vertices by descending `scores` (ties broken by ascending
+    /// id, via `total_cmp`, so the order is a pure function of the
+    /// scores — no float-equality hazards) into pages of `page_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows` is zero.
+    pub fn from_scores(scores: &[f64], page_rows: usize) -> Self {
+        assert!(page_rows > 0, "page_rows must be positive");
+        let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+        order.sort_by(|&a, &b| {
+            scores[b as usize]
+                .total_cmp(&scores[a as usize])
+                .then(a.cmp(&b))
+        });
+        Self {
+            perm: Permutation::from_order(order),
+            page_rows,
+        }
+    }
+
+    /// Wraps an existing permutation with a page geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_rows` is zero.
+    pub fn from_permutation(perm: Permutation, page_rows: usize) -> Self {
+        assert!(page_rows > 0, "page_rows must be positive");
+        Self { perm, page_rows }
+    }
+
+    /// The underlying ordering permutation (`to_new` maps an original id
+    /// to its physical row slot).
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Rows per page.
+    pub fn page_rows(&self) -> usize {
+        self.page_rows
+    }
+
+    /// Page that holds the (reordered) slot of original vertex `old`.
+    #[inline]
+    pub fn page_of(&self, old: VertexId) -> usize {
+        self.perm.to_new(old) as usize / self.page_rows
+    }
+
+    /// Number of pages (`ceil(len / page_rows)`).
+    pub fn num_pages(&self) -> usize {
+        self.perm.len().div_ceil(self.page_rows)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,5 +295,36 @@ mod tests {
         for v in 0..4 {
             assert_eq!(q.to_new(p.to_new(v)), v);
         }
+    }
+
+    #[test]
+    fn paged_permutation_orders_by_descending_score() {
+        let scores = [0.1, 0.9, 0.5, 0.9, 0.0];
+        let p = PagedPermutation::from_scores(&scores, 2);
+        // Descending score, ties by ascending id: 1, 3, 2, 0, 4.
+        assert_eq!(p.permutation().to_new(1), 0);
+        assert_eq!(p.permutation().to_new(3), 1);
+        assert_eq!(p.permutation().to_new(2), 2);
+        assert_eq!(p.permutation().to_new(0), 3);
+        assert_eq!(p.permutation().to_new(4), 4);
+        assert_eq!(p.page_rows(), 2);
+        assert_eq!(p.num_pages(), 3);
+        // The two hottest vertices share page 0.
+        assert_eq!(p.page_of(1), 0);
+        assert_eq!(p.page_of(3), 0);
+        assert_eq!(p.page_of(4), 2);
+    }
+
+    #[test]
+    fn paged_permutation_handles_nan_scores_deterministically() {
+        // total_cmp sorts NaN above +inf in descending order; the point
+        // is only that the result is a valid, reproducible bijection.
+        let scores = [f64::NAN, 1.0, f64::NAN, 0.5];
+        let a = PagedPermutation::from_scores(&scores, 2);
+        let b = PagedPermutation::from_scores(&scores, 2);
+        assert_eq!(a, b);
+        let mut slots: Vec<u32> = (0..4).map(|v| a.permutation().to_new(v)).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, vec![0, 1, 2, 3]);
     }
 }

@@ -6,6 +6,7 @@ use spp_graph::{Dataset, QuantScheme, VertexId};
 use spp_partition::multilevel::MultilevelPartitioner;
 use spp_partition::{Partitioning, VertexWeights};
 use spp_sampler::Fanouts;
+use spp_store::{FeatureStore, PermutedStore};
 
 /// Configuration for [`DistributedSetup::build`].
 #[derive(Clone, Debug)]
@@ -106,11 +107,64 @@ impl DistributedSetup {
             "oracle policy needs measured counts; use build_with_rankings"
         );
         let (partitioning, train_of_part) = Self::partition(ds, &config);
-        let rankings: Vec<Vec<VertexId>> = (0..config.num_machines as u32)
+        let rankings = Self::policy_rankings(ds, &config, &partitioning, &train_of_part);
+        Self::assemble(ds, config, partitioning, train_of_part, rankings)
+    }
+
+    /// Like [`DistributedSetup::build`] but filling each machine's
+    /// feature slices (local partition rows and static-cache rows) from
+    /// an out-of-core [`FeatureStore`] addressed by *original* vertex
+    /// ids, instead of the dataset's resident matrix (DESIGN.md §16).
+    /// Each machine touches only its own pages; with an f32 store the
+    /// deployment is bit-identical to [`DistributedSetup::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's shape disagrees with the dataset or if
+    /// `config.policy` is [`CachePolicy::Oracle`].
+    pub fn build_with_feature_store(
+        ds: &Dataset,
+        config: SetupConfig,
+        store: &dyn FeatureStore,
+    ) -> Self {
+        assert!(
+            config.policy != CachePolicy::Oracle,
+            "oracle policy needs measured counts; use build_with_rankings"
+        );
+        assert_eq!(
+            store.num_rows(),
+            ds.num_vertices(),
+            "feature store row count must match the dataset"
+        );
+        assert_eq!(
+            store.dim(),
+            ds.features.dim(),
+            "feature store dim must match the dataset"
+        );
+        let (partitioning, train_of_part) = Self::partition(ds, &config);
+        let rankings = Self::policy_rankings(ds, &config, &partitioning, &train_of_part);
+        Self::assemble_from(
+            ds,
+            config,
+            partitioning,
+            train_of_part,
+            rankings,
+            Some(store),
+        )
+    }
+
+    /// Per-machine cache rankings under `config.policy` (original ids).
+    fn policy_rankings(
+        ds: &Dataset,
+        config: &SetupConfig,
+        partitioning: &Partitioning,
+        train_of_part: &[Vec<VertexId>],
+    ) -> Vec<Vec<VertexId>> {
+        (0..config.num_machines as u32)
             .map(|p| {
                 let ctx = PolicyContext {
                     graph: &ds.graph,
-                    partitioning: &partitioning,
+                    partitioning,
                     part: p,
                     local_train: &train_of_part[p as usize],
                     fanouts: config.fanouts.clone(),
@@ -120,8 +174,7 @@ impl DistributedSetup {
                 };
                 ctx.rank(config.policy)
             })
-            .collect();
-        Self::assemble(ds, config, partitioning, train_of_part, rankings)
+            .collect()
     }
 
     /// Like [`DistributedSetup::build`] but with externally supplied
@@ -156,6 +209,17 @@ impl DistributedSetup {
         train_of_part: Vec<Vec<VertexId>>,
         rankings: Vec<Vec<VertexId>>,
     ) -> Self {
+        Self::assemble_from(ds, config, partitioning, train_of_part, rankings, None)
+    }
+
+    fn assemble_from(
+        ds: &Dataset,
+        config: SetupConfig,
+        partitioning: Partitioning,
+        train_of_part: Vec<Vec<VertexId>>,
+        rankings: Vec<Vec<VertexId>>,
+        feature_source: Option<&dyn FeatureStore>,
+    ) -> Self {
         // Local ordering scores: each partition ranks its own vertices by
         // its local VIP values.
         let layout = if config.vip_reorder {
@@ -168,6 +232,12 @@ impl DistributedSetup {
 
         let dataset = ds.permuted(layout.perm());
 
+        // When reading from an external store (original-id order), view
+        // it through the inverse layout permutation so machine builds
+        // address it by new ids: view.read(new) = store.read(to_old(new)).
+        let inv = layout.perm().inverse();
+        let view = feature_source.map(|src| PermutedStore::new(src, &inv));
+
         let cache_builder = CacheBuilder::new(config.alpha, ds.num_vertices(), config.num_machines);
         let stores: Vec<PartitionedFeatureStore> = (0..config.num_machines as u32)
             .map(|p| {
@@ -175,10 +245,14 @@ impl DistributedSetup {
                 let mut ranking = rankings[p as usize].clone();
                 layout.perm().relabel(&mut ranking);
                 let cache = cache_builder.build(&ranking);
-                PartitionedFeatureStore::build_quantized(
+                let feats: &dyn FeatureStore = match &view {
+                    Some(v) => v,
+                    None => &dataset.features,
+                };
+                PartitionedFeatureStore::build_from_store(
                     p,
                     &layout,
-                    &dataset.features,
+                    feats,
                     config.beta,
                     cache,
                     config.cache_scheme,

@@ -34,6 +34,7 @@ use spp_graph::{quant, FeatureMatrix, QuantScheme, VertexId};
 use spp_pool::WorkerPool;
 use spp_runtime::{CostModel, DistributedSetup};
 use spp_sampler::{batch_stream_seed, Fanouts, NodeWiseSampler};
+use spp_store::FeatureStore;
 use spp_telemetry as tel;
 use spp_telemetry::metrics::{Counter, Gauge, Histogram};
 use std::collections::{BinaryHeap, VecDeque};
@@ -424,6 +425,11 @@ pub struct InferenceServer<'a> {
     model: &'a GnnModel,
     store: &'a PartitionedFeatureStore,
     peers: &'a [PartitionedFeatureStore],
+    /// Optional out-of-core source for remote-fetch rows (new-id
+    /// addressed). When set, cache/overlay misses read the owner's rows
+    /// through this store instead of the peer's resident
+    /// [`PartitionedFeatureStore`]; wire-byte accounting is unchanged.
+    remote_store: Option<&'a dyn FeatureStore>,
     cfg: ServeConfig,
     /// Dense-indexed clone of the store's static cache for O(1)
     /// membership in the per-node classification loop.
@@ -493,6 +499,7 @@ impl<'a> InferenceServer<'a> {
             model,
             store,
             peers: &setup.stores,
+            remote_store: None,
             overlay: DynamicOverlay::with_scheme(
                 cfg.overlay_capacity,
                 store.dim(),
@@ -518,6 +525,31 @@ impl<'a> InferenceServer<'a> {
             rejections: Vec::new(),
             batches: Vec::new(),
         }
+    }
+
+    /// Serves remote-fetch rows from an out-of-core [`FeatureStore`]
+    /// (addressed by the deployment's reordered ids) instead of peer
+    /// machines' resident stores — modeling owners that page features
+    /// from disk (DESIGN.md §16). Tier classification, wire-byte
+    /// accounting, and the DES timeline are unchanged; an f32 store
+    /// serves bit-identical rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store's shape disagrees with the deployment.
+    pub fn with_remote_store(mut self, remote: &'a dyn FeatureStore) -> Self {
+        assert_eq!(
+            remote.num_rows(),
+            self.store.layout().num_vertices(),
+            "remote store row count must match the deployment"
+        );
+        assert_eq!(
+            remote.dim(),
+            self.store.dim(),
+            "remote store dim must match the feature dim"
+        );
+        self.remote_store = Some(remote);
+        self
     }
 
     /// Replays an open-loop trace (arrivals must be time-ordered).
@@ -731,6 +763,7 @@ impl<'a> InferenceServer<'a> {
         let dim = self.store.dim();
         let store = self.store;
         let peers = self.peers;
+        let remote_store = self.remote_store;
         let overlay = &self.overlay;
         let wire = self.cfg.wire_scheme;
         let wire_row_bytes = self.cfg.wire_scheme.row_bytes(dim);
@@ -749,7 +782,18 @@ impl<'a> InferenceServer<'a> {
             if !need.is_empty() {
                 let req_ids: Vec<VertexId> = need.iter().map(|&(_, v)| v).collect();
                 owner_bytes.push((owner, (req_ids.len() * wire_row_bytes) as u64));
-                let served = peers[owner as usize].serve(&req_ids);
+                let served = match remote_store {
+                    Some(rs) => {
+                        // The owner pages the rows from its out-of-core
+                        // store; same ids, same wire accounting.
+                        let mut sm = FeatureMatrix::zeros(req_ids.len(), dim);
+                        for (r, &v) in req_ids.iter().enumerate() {
+                            rs.read_row_into(v, sm.row_mut(r as u32));
+                        }
+                        sm
+                    }
+                    None => peers[owner as usize].serve(&req_ids),
+                };
                 for (r, &(i, v)) in need.iter().enumerate() {
                     let out = m.row_mut(i as u32);
                     out.copy_from_slice(served.row(r as VertexId));

@@ -384,3 +384,46 @@ fn closed_loop_resolves_every_request_deterministically() {
     assert_eq!(a.batches, b.batches);
     assert_eq!(a.cache, b.cache);
 }
+
+/// Bit-identity of remote fetch through the `FeatureStore` trait: an
+/// f32 store over the deployment's reordered features (new-id space)
+/// must serve every peer fetch with the same bits as the in-process
+/// `PartitionedFeatureStore::serve` path, so the entire report —
+/// completions, batches, cache accounting, makespan — is unchanged.
+#[test]
+fn remote_store_fetch_is_bit_identical() {
+    let (ds, model) = fixture();
+    let setup = deployment(&ds);
+    let trace = generate_open_loop(&TraceConfig {
+        num_requests: 300,
+        num_vertices: 400,
+        arrival_rate: 2000.0,
+        skew: 3.0,
+        burstiness: 0.3,
+        seed: 17,
+    });
+    let cfg = || ServeConfig {
+        max_batch_size: 8,
+        max_delay: 0.01,
+        queue_capacity: 64,
+        overlay_capacity: 24,
+        fanouts: Fanouts::new(vec![4, 3]),
+        seed: 3,
+        pool: WorkerPool::new(2),
+        ..ServeConfig::default()
+    };
+    let baseline = InferenceServer::new(&setup, &model, 0, cfg()).run(&trace);
+
+    let remote =
+        spp_store::InRamStore::from_matrix(&setup.dataset.features, QuantScheme::F32, 4096);
+    let through = InferenceServer::new(&setup, &model, 0, cfg())
+        .with_remote_store(&remote)
+        .run(&trace);
+
+    assert!(!baseline.completions.is_empty());
+    assert_eq!(baseline.completions, through.completions);
+    assert_eq!(baseline.batches, through.batches);
+    assert_eq!(baseline.cache, through.cache);
+    assert_eq!(baseline.rejections, through.rejections);
+    assert!(baseline.makespan == through.makespan, "makespan drifted");
+}

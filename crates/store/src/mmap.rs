@@ -1,0 +1,114 @@
+//! Out-of-core backend: rows fetched from `pages.bin` with positioned
+//! reads.
+//!
+//! The container vendors no mmap shim, so "Mmap" here means the same
+//! access pattern an mmap would produce — on-demand page-granular
+//! fetches from a file that is never resident as a whole — implemented
+//! with `FileExt::read_exact_at` (which takes `&self`, so concurrent
+//! pool workers read without locks). Residency is modeled by the
+//! deterministic epoch tracker instead of the OS page cache (see
+//! [`crate::tracker`] for why).
+//!
+//! The row scratch is thread-local and grown once per thread, so after
+//! warmup a row read performs zero heap allocations — pinned by the
+//! `alloc_count` integration test and the `store.read_row.mmap` hot
+//! root.
+
+use crate::format::{self, StoreMeta};
+use crate::tracker::PageTracker;
+use crate::{FeatureStore, StoreStats};
+use spp_graph::{QuantScheme, VertexId};
+use std::cell::RefCell;
+use std::fs::File;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+
+thread_local! {
+    /// Per-thread encoded-row buffer, grown to `row_bytes` on first use.
+    static ROW_SCRATCH: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Paged feature rows left on disk and fetched per read.
+pub struct MmapStore {
+    meta: StoreMeta,
+    file: File,
+    tracker: PageTracker,
+}
+
+impl MmapStore {
+    /// Opens a store directory (see [`crate::StoreBuilder`]) without
+    /// loading the payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`format::StoreError`] on I/O failure, a bad header, or
+    /// a payload whose size disagrees with the header.
+    pub fn open(dir: &Path) -> Result<Self, format::StoreError> {
+        let meta = StoreMeta::load(dir)?;
+        let file = File::open(StoreMeta::pages_path(dir))?;
+        let len = file.metadata()?.len();
+        if len != meta.payload_bytes() as u64 {
+            return Err(format::StoreError::Corrupt(format!(
+                "pages.bin is {len} bytes, header implies {}",
+                meta.payload_bytes()
+            )));
+        }
+        let tracker = PageTracker::new(&meta);
+        Ok(Self {
+            meta,
+            file,
+            tracker,
+        })
+    }
+
+    /// Store geometry.
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+}
+
+impl FeatureStore for MmapStore {
+    fn num_rows(&self) -> usize {
+        self.meta.rows
+    }
+
+    fn dim(&self) -> usize {
+        self.meta.dim
+    }
+
+    fn scheme(&self) -> QuantScheme {
+        self.meta.scheme
+    }
+
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range, `out.len() != dim`, or the
+    /// positioned read fails (the payload size was validated at open,
+    /// so a failure here means the file changed underneath us).
+    // spp-hot(store.read_row.mmap)
+    fn read_row_into(&self, v: VertexId, out: &mut [f32]) {
+        let v = v as usize;
+        assert!(v < self.meta.rows, "row {v} out of range");
+        self.tracker.record(self.meta.page_of(v));
+        let row_bytes = self.meta.row_bytes();
+        let off = self.meta.row_offset(v) as u64;
+        ROW_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            buf.resize(row_bytes, 0);
+            let read = self.file.read_exact_at(&mut buf[..row_bytes], off);
+            assert!(
+                read.is_ok(),
+                "store payload read failed at offset {off}: {read:?}"
+            );
+            format::decode_row(self.meta.scheme, &buf[..row_bytes], out);
+        });
+    }
+
+    fn begin_epoch(&self) {
+        self.tracker.begin_epoch();
+    }
+
+    fn stats(&self) -> StoreStats {
+        self.tracker.stats()
+    }
+}

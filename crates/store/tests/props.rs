@@ -1,0 +1,144 @@
+//! Property tests for the out-of-core store: backend bit-identity and
+//! streaming-vs-in-RAM CSR builder equivalence.
+
+// Tests assert by panicking; the workspace panic-family denies apply
+// to library code only (see [workspace.lints] in Cargo.toml).
+#![allow(
+    clippy::unwrap_used,
+    clippy::expect_used,
+    clippy::panic,
+    clippy::float_cmp
+)]
+
+use proptest::prelude::*;
+use spp_graph::generate::{citation_edges, citation_graph, GeneratorConfig};
+use spp_graph::{CsrGraph, FeatureMatrix, QuantScheme};
+use spp_store::{FeatureStore, InRamStore, MmapStore, StoreBuilder, StreamingCsrBuilder};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spp_store_props_{}_{}_{}",
+        name,
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn feature_fixture(rows: usize, dim: usize) -> FeatureMatrix {
+    let mut f = FeatureMatrix::zeros(rows, dim);
+    for v in 0..rows {
+        for j in 0..dim {
+            // Below 2048 so the f16 tier is exact; varied enough that
+            // every (row, scheme) pair exercises distinct bit patterns.
+            f.row_mut(v as u32)[j] = ((v * 31 + j * 7) % 1997) as f32 + 0.25;
+        }
+    }
+    f
+}
+
+/// Streams a generator's edge list through the spill-and-merge builder.
+fn stream_build(cfg: &GeneratorConfig, chunk_edges: usize, dir: &Path) -> CsrGraph {
+    let stream = cfg.edges();
+    let mut b = StreamingCsrBuilder::new(stream.num_vertices(), dir).chunk_edges(chunk_edges);
+    for (src, dst) in stream {
+        b.add_edge(src, dst).unwrap();
+    }
+    b.finish().unwrap()
+}
+
+fn families(n: usize, e: usize) -> Vec<GeneratorConfig> {
+    vec![
+        GeneratorConfig::rmat(n, e),
+        GeneratorConfig::erdos_renyi(n, e),
+        GeneratorConfig::planted_partition(n, e, 4, 0.8),
+        GeneratorConfig::chung_lu(n, e, 2.5),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The streaming builder's spill/merge pipeline is invisible: for
+    /// every generator family, seed, and chunk size (including chunks
+    /// far smaller than the edge count, forcing many spill runs), the
+    /// graph equals the in-RAM `GraphBuilder` compaction bit for bit.
+    #[test]
+    fn streaming_csr_matches_in_ram_builder(
+        seed in 0u64..1000,
+        chunk_ix in 0usize..4,
+    ) {
+        let chunk = [7usize, 64, 1009, 1 << 20][chunk_ix];
+        for cfg in families(300, 1200) {
+            let cfg = cfg.seed(seed);
+            let in_ram = cfg.build();
+            let streamed = stream_build(&cfg, chunk, &tmp("csr"));
+            prop_assert_eq!(&in_ram, &streamed, "chunk {}", chunk);
+        }
+    }
+
+    /// Mmap and InRam backends decode identical bits for every scheme:
+    /// the page file is the single source of truth, regardless of
+    /// whether it is resident or read through the file.
+    #[test]
+    fn mmap_and_inram_backends_are_bit_identical(
+        rows in 1usize..200,
+        dim in 1usize..17,
+        scheme_ix in 0usize..3,
+    ) {
+        let scheme = [QuantScheme::F32, QuantScheme::F16, QuantScheme::I8][scheme_ix];
+        let feats = feature_fixture(rows, dim);
+        let dir = tmp("backend");
+        StoreBuilder::new(scheme)
+            .page_bytes(512)
+            .build_from_matrix(&dir, &feats, None)
+            .unwrap();
+        let inram = InRamStore::open(&dir).unwrap();
+        let mmap = MmapStore::open(&dir).unwrap();
+        let mut a = vec![0.0f32; dim];
+        let mut b = vec![0.0f32; dim];
+        for v in 0..rows as u32 {
+            inram.read_row_into(v, &mut a);
+            mmap.read_row_into(v, &mut b);
+            prop_assert_eq!(
+                a.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                "row {} under {:?}", v, scheme
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// `citation_graph` (the io_bench workload) streams bit-identically
+/// too — its edge iterator replicates the builder-path RNG draws.
+#[test]
+fn citation_graph_streams_bit_identically() {
+    let (n, e) = (500, 2000);
+    for seed in [0u64, 7, 42] {
+        let in_ram = citation_graph(n, e, 8, 0.7, 1.4, seed);
+        let dir = tmp("cite");
+        let mut b = StreamingCsrBuilder::new(n, &dir).chunk_edges(977);
+        for (src, dst) in citation_edges(n, e, 8, 0.7, 1.4, seed) {
+            b.add_edge(src, dst).unwrap();
+        }
+        let streamed = b.finish().unwrap();
+        assert_eq!(in_ram, streamed, "seed {seed}");
+    }
+}
+
+/// A graph too big for any single spill run builds correctly and the
+/// result matches the reference compaction (multi-run k-way merge).
+#[test]
+fn many_spill_runs_merge_correctly() {
+    let cfg = GeneratorConfig::rmat(2000, 12_000).seed(3);
+    let in_ram = cfg.build();
+    // ~24k directed inserts over 1k-edge chunks: ≥ 20 run files.
+    let streamed = stream_build(&cfg, 1000, &tmp("runs"));
+    assert_eq!(in_ram, streamed);
+}

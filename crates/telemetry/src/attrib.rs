@@ -217,11 +217,62 @@ impl CommReport {
     }
 }
 
+/// Page-level accounting for one out-of-core feature store
+/// (`spp-store`) over one run/configuration.
+///
+/// Invariants (checked by `cargo xtask validate-trace`):
+/// `pages_read == pages_faulted + pages_hit` and
+/// `bytes_read == pages_faulted × page_bytes` — a fault loads exactly
+/// one page, a hit touches resident bytes only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StoreReport {
+    /// Which run/configuration this report describes.
+    pub label: String,
+    /// Backend name (`inram`, `mmap`).
+    pub backend: String,
+    /// On-disk row precision (`f32`, `f16`, `i8`).
+    pub scheme: String,
+    /// Rows per page.
+    pub page_rows: u64,
+    /// Bytes per page.
+    pub page_bytes: u64,
+    /// Page touches (one per row read).
+    pub pages_read: u64,
+    /// Touches that missed residency and loaded the page.
+    pub pages_faulted: u64,
+    /// Touches answered by an already-resident page.
+    pub pages_hit: u64,
+    /// Bytes loaded from the backing file (faults × page size).
+    pub bytes_read: u64,
+}
+
+impl StoreReport {
+    /// Canonical JSON rendering (single object).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"label\": \"{}\", \"backend\": \"{}\", \"scheme\": \"{}\", \
+             \"page_rows\": {}, \"page_bytes\": {}, \"pages_read\": {}, \
+             \"pages_faulted\": {}, \"pages_hit\": {}, \"bytes_read\": {}}}",
+            self.label,
+            self.backend,
+            self.scheme,
+            self.page_rows,
+            self.page_bytes,
+            self.pages_read,
+            self.pages_faulted,
+            self.pages_hit,
+            self.bytes_read
+        )
+    }
+}
+
 /// Published attribution reports awaiting export.
 #[derive(Default)]
 struct AttribRegistry {
     caches: Vec<CacheReport>,
     comms: Vec<CommReport>,
+    stores: Vec<StoreReport>,
 }
 
 fn registry() -> &'static Mutex<AttribRegistry> {
@@ -252,11 +303,23 @@ pub fn publish_comm_report(report: CommReport) {
     }
 }
 
+/// Publishes a store report for the trace exporters (same replace-by-
+/// label semantics as [`publish_cache_report`]).
+pub fn publish_store_report(report: StoreReport) {
+    let mut reg = registry().lock();
+    if let Some(slot) = reg.stores.iter_mut().find(|c| c.label == report.label) {
+        *slot = report;
+    } else {
+        reg.stores.push(report);
+    }
+}
+
 /// Clears every published report (tests and multi-run harnesses).
 pub fn reset_attrib() {
     let mut reg = registry().lock();
     reg.caches.clear();
     reg.comms.clear();
+    reg.stores.clear();
 }
 
 /// Renders the published reports as the trace exporter's `attrib`
@@ -264,7 +327,7 @@ pub fn reset_attrib() {
 #[must_use]
 pub fn attrib_json() -> Option<String> {
     let reg = registry().lock();
-    if reg.caches.is_empty() && reg.comms.is_empty() {
+    if reg.caches.is_empty() && reg.comms.is_empty() && reg.stores.is_empty() {
         return None;
     }
     let mut out = String::from("{\"cache\": [");
@@ -276,6 +339,13 @@ pub fn attrib_json() -> Option<String> {
     }
     out.push_str("], \"comm\": [");
     for (i, c) in reg.comms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&c.to_json());
+    }
+    out.push_str("], \"store\": [");
+    for (i, c) in reg.stores.iter().enumerate() {
         if i > 0 {
             out.push_str(", ");
         }
@@ -333,6 +403,49 @@ mod tests {
             "{j}"
         );
         assert!(j.contains("[[0, 0, 0], [0, 0, 0], [7, 0, 0]]"), "{j}");
+    }
+
+    #[test]
+    fn store_report_json_and_invariants() {
+        let r = StoreReport {
+            label: "vip".into(),
+            backend: "mmap".into(),
+            scheme: "f16".into(),
+            page_rows: 64,
+            page_bytes: 4096,
+            pages_read: 100,
+            pages_faulted: 30,
+            pages_hit: 70,
+            bytes_read: 30 * 4096,
+        };
+        assert_eq!(r.pages_read, r.pages_faulted + r.pages_hit);
+        assert_eq!(r.bytes_read, r.pages_faulted * r.page_bytes);
+        let j = r.to_json();
+        assert!(j.contains("\"backend\": \"mmap\""), "{j}");
+        assert!(j.contains("\"pages_faulted\": 30"), "{j}");
+        assert!(j.contains("\"bytes_read\": 122880"), "{j}");
+    }
+
+    #[test]
+    fn store_reports_flow_through_registry() {
+        let _g = crate::metrics::test_lock();
+        reset_attrib();
+        publish_store_report(StoreReport {
+            label: "s".into(),
+            pages_read: 1,
+            ..StoreReport::default()
+        });
+        publish_store_report(StoreReport {
+            label: "s".into(),
+            pages_read: 5,
+            ..StoreReport::default()
+        });
+        let j = attrib_json().unwrap_or_default();
+        assert!(j.contains("\"store\": [{"), "{j}");
+        assert!(j.contains("\"pages_read\": 5"), "{j}");
+        assert!(!j.contains("\"pages_read\": 1"), "{j}");
+        reset_attrib();
+        assert!(attrib_json().is_none());
     }
 
     #[test]

@@ -60,8 +60,8 @@ pub mod span;
 pub mod stage;
 
 pub use attrib::{
-    attrib_json, publish_cache_report, publish_comm_report, reset_attrib, CacheReport, CommReport,
-    TierStats,
+    attrib_json, publish_cache_report, publish_comm_report, publish_store_report, reset_attrib,
+    CacheReport, CommReport, StoreReport, TierStats,
 };
 pub use export::{init_from_env, summary, write_trace_files};
 pub use metrics::{counter, enabled, gauge, histogram, set_enabled, snapshot};

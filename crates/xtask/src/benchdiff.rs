@@ -118,6 +118,14 @@ const CONFIG_KEYS: &[&str] = &[
     "quant_overlay_rows",
     "burstiness",
     "windows",
+    // Out-of-core store geometry (spp-store): page size/shape and
+    // streaming chunk sizes are configuration, not outcomes — and
+    // `page_bytes` must never fall through to the `bytes` gate below.
+    "dim",
+    "page_rows",
+    "page_bytes",
+    "num_pages",
+    "chunk_edges",
     // Quantile-sketch internals: the p50/p99/p999 leaves carry the
     // behavior; raw bucket vectors would add thousands of brittle
     // per-bucket gates.
@@ -152,6 +160,23 @@ pub fn policy_for(path: &str) -> Option<Policy> {
             || path.contains("_p999")
         {
             return p(Direction::LowerBetter, 0.02);
+        }
+        return None;
+    }
+    // Out-of-core store benches (`io_bench`): page/byte traffic is a
+    // deterministic function of the seeded sample stream and the page
+    // geometry, so the tolerance only absorbs float rendering. Checked
+    // before the wall-clock rules so `bytes_read` never hits the noisy
+    // generic `bytes` gate.
+    if path.starts_with("io.") {
+        if path.contains("locality_gain") {
+            return p(Direction::HigherBetter, 0.02);
+        }
+        if path.contains("bytes") || path.contains("fault") || path.contains("pages") {
+            return p(Direction::LowerBetter, 0.02);
+        }
+        if path.contains("secs") || path.contains("_ms") {
+            return p(Direction::LowerBetter, 0.35);
         }
         return None;
     }
@@ -556,6 +581,34 @@ mod tests {
         let bad = set_from(r#"{"bench": "serving", "two_tier": {"p99_latency_ms": 1.05}}"#);
         assert!(diff(&old, &ok).pass());
         assert!(!diff(&old, &bad).pass());
+    }
+
+    #[test]
+    fn io_metrics_gate_tightly_and_geometry_is_config() {
+        let old = set_from(
+            r#"{"bench": "io", "page_bytes": 4096, "vip": {"bytes_read_per_epoch": 1000.0, "pages_faulted_per_epoch": 50.0}, "locality_gain": 2.0}"#,
+        );
+        assert!(
+            !old.contains_key("io.page_bytes"),
+            "page_bytes must not flatten into a gated metric"
+        );
+        let worse = set_from(
+            r#"{"bench": "io", "page_bytes": 4096, "vip": {"bytes_read_per_epoch": 1100.0, "pages_faulted_per_epoch": 55.0}, "locality_gain": 1.5}"#,
+        );
+        let rep = diff(&old, &worse);
+        assert!(!rep.pass());
+        let paths: Vec<&str> = rep.regressions().map(|d| d.path.as_str()).collect();
+        assert!(paths.contains(&"io.vip.bytes_read_per_epoch"), "{paths:?}");
+        assert!(
+            paths.contains(&"io.vip.pages_faulted_per_epoch"),
+            "{paths:?}"
+        );
+        assert!(paths.contains(&"io.locality_gain"), "{paths:?}");
+        // Small float-rendering jitter passes.
+        let ok = set_from(
+            r#"{"bench": "io", "page_bytes": 4096, "vip": {"bytes_read_per_epoch": 1001.0, "pages_faulted_per_epoch": 50.0}, "locality_gain": 2.0}"#,
+        );
+        assert!(diff(&old, &ok).pass());
     }
 
     #[test]

@@ -480,6 +480,54 @@ fn check_comm_report(i: usize, c: &json::Json) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates one `StoreReport` object: page counters present,
+/// `pages_read == pages_faulted + pages_hit`, and bytes consistent
+/// with the page size (`bytes_read == pages_faulted × page_bytes`).
+fn check_store_report(i: usize, c: &json::Json) -> Result<(), String> {
+    let label = c.get("label").and_then(json::Json::as_str).unwrap_or("?");
+    let ctx = |msg: &str| format!("attrib.store[{i}] ({label}): {msg}");
+    for key in ["backend", "scheme"] {
+        c.get(key)
+            .and_then(json::Json::as_str)
+            .ok_or_else(|| ctx(&format!("missing string `{key}`")))?;
+    }
+    let num = |key: &str| -> Result<u64, String> {
+        let v = c
+            .get(key)
+            .and_then(json::Json::as_num)
+            .ok_or_else(|| ctx(&format!("missing numeric `{key}`")))?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(ctx(&format!("`{key}` must be a non-negative integer")));
+        }
+        Ok(v as u64)
+    };
+    let page_rows = num("page_rows")?;
+    let page_bytes = num("page_bytes")?;
+    let pages_read = num("pages_read")?;
+    let pages_faulted = num("pages_faulted")?;
+    let pages_hit = num("pages_hit")?;
+    let bytes_read = num("bytes_read")?;
+    if page_rows == 0 || page_bytes == 0 {
+        return Err(ctx("page geometry must be positive"));
+    }
+    if pages_faulted > pages_read {
+        return Err(ctx(&format!(
+            "pages_faulted {pages_faulted} exceeds pages_read {pages_read}"
+        )));
+    }
+    if pages_faulted + pages_hit != pages_read {
+        return Err(ctx(&format!(
+            "pages_faulted {pages_faulted} + pages_hit {pages_hit} != pages_read {pages_read}"
+        )));
+    }
+    if bytes_read != pages_faulted * page_bytes {
+        return Err(ctx(&format!(
+            "bytes_read {bytes_read} != pages_faulted {pages_faulted} × page_bytes {page_bytes}"
+        )));
+    }
+    Ok(())
+}
+
 /// Validates the trace's top-level `attrib` section. With
 /// `require = true`, a missing section (or one with no cache reports)
 /// is an error; otherwise only a present section is checked.
@@ -498,7 +546,13 @@ fn check_attrib(doc: &json::Json, require: bool) -> Result<usize, String> {
         .get("comm")
         .and_then(json::Json::as_arr)
         .ok_or("attrib: missing `comm` array")?;
-    if require && caches.is_empty() && comms.is_empty() {
+    // `store` arrived after `cache`/`comm`; tolerate traces from older
+    // binaries that omit it.
+    let stores = attrib
+        .get("store")
+        .and_then(json::Json::as_arr)
+        .unwrap_or(&[]);
+    if require && caches.is_empty() && comms.is_empty() && stores.is_empty() {
         return Err("attrib section is empty (was attribution published?)".into());
     }
     for (i, c) in caches.iter().enumerate() {
@@ -507,7 +561,10 @@ fn check_attrib(doc: &json::Json, require: bool) -> Result<usize, String> {
     for (i, c) in comms.iter().enumerate() {
         check_comm_report(i, c)?;
     }
-    Ok(caches.len() + comms.len())
+    for (i, c) in stores.iter().enumerate() {
+        check_store_report(i, c)?;
+    }
+    Ok(caches.len() + comms.len() + stores.len())
 }
 
 fn run_bench_diff(old: &Path, new: &Path, json_out: bool) -> ExitCode {

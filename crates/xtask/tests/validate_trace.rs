@@ -153,6 +153,32 @@ fn comm_matrix_must_be_square() {
 }
 
 #[test]
+fn store_only_attribution_satisfies_attrib_flag() {
+    let out = validate_attrib("trace_attrib_store_valid.json");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("1 attribution report(s) valid"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn store_bytes_must_match_faults_times_page_size() {
+    let out = validate_attrib("trace_attrib_bad_store.json");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bytes_read 999 != pages_faulted 30"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn sketch_bucket_counts_must_match_total() {
     // A present-but-inconsistent attrib section fails even WITHOUT the
     // --attrib flag: present sections are always validated.

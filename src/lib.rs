@@ -25,6 +25,7 @@
 //! | [`telemetry`] | `spp-telemetry` | metrics, spans, trace exporters |
 //! | [`runtime`] | `spp-runtime` | distributed setup/engine/simulation |
 //! | [`serve`] | `spp-serve` | online inference serving: micro-batching, two-tier cache |
+//! | [`store`] | `spp-store` | out-of-core paged feature store, streaming CSR builder |
 //!
 //! # Quickstart
 //!
@@ -69,6 +70,7 @@ pub use spp_partition as partition;
 pub use spp_runtime as runtime;
 pub use spp_sampler as sampler;
 pub use spp_serve as serve;
+pub use spp_store as store;
 pub use spp_telemetry as telemetry;
 pub use spp_tensor as tensor;
 
@@ -90,5 +92,6 @@ pub mod prelude {
     };
     pub use spp_sampler::{Fanouts, Mfg, MinibatchIter, NodeWiseSampler};
     pub use spp_serve::{InferenceServer, ServeConfig, ServeReport};
+    pub use spp_store::{FeatureStore, InRamStore, MmapStore, StoreBuilder, StreamingCsrBuilder};
     pub use spp_tensor::{Adam, Matrix, Optimizer, Tape};
 }
