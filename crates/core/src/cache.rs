@@ -1,7 +1,6 @@
 //! Static remote-feature caches sized by a replication factor.
 
 use spp_graph::VertexId;
-use std::collections::HashMap;
 
 /// Builds per-partition [`StaticCache`]s from policy rankings and a
 /// replication factor α: each machine caches the top `αN/K` remote
@@ -78,17 +77,20 @@ impl CacheBuilder {
 const NO_SLOT: u32 = u32::MAX;
 
 /// One machine's static cache of remote vertex features: a membership
-/// hash table mapping cached global vertex ids to cache slots (the lookup
+/// index mapping cached global vertex ids to cache slots (the lookup
 /// the paper performs per remote vertex, §4.2).
 ///
-/// Membership has two interchangeable representations: the `HashMap`
-/// built by default, and an optional *dense* slot array indexed by
-/// vertex id ([`StaticCache::with_dense_index`]) that turns `contains` /
-/// `slot_of` into one bounds-checked array load — the O(1) path the
-/// online serving hot loop uses, at `4·N` bytes per machine.
+/// Membership has two interchangeable representations: a sorted
+/// `(vertex, slot)` array probed by binary search (the default — fully
+/// ordered, so every traversal of the structure is deterministic by
+/// construction; §9 / DESIGN §17), and an optional *dense* slot array
+/// indexed by vertex id ([`StaticCache::with_dense_index`]) that turns
+/// `contains` / `slot_of` into one bounds-checked array load — the O(1)
+/// path the online serving hot loop uses, at `4·N` bytes per machine.
 #[derive(Clone, Debug, Default)]
 pub struct StaticCache {
-    slots: HashMap<VertexId, u32>,
+    /// `(vertex, slot)` pairs sorted by vertex id.
+    index: Vec<(VertexId, u32)>,
     members: Vec<VertexId>,
     /// `dense[v] == slot` for members, [`NO_SLOT`] otherwise; `None`
     /// until [`StaticCache::with_dense_index`] materializes it.
@@ -107,13 +109,17 @@ impl StaticCache {
     ///
     /// Panics on duplicate members.
     pub fn from_members(members: &[VertexId]) -> Self {
-        let mut slots = HashMap::with_capacity(members.len());
-        for (i, &v) in members.iter().enumerate() {
-            let prev = slots.insert(v, i as u32);
-            assert!(prev.is_none(), "duplicate cache member {v}");
+        let mut index: Vec<(VertexId, u32)> = members
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        index.sort_unstable();
+        for w in index.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate cache member {}", w[0].0);
         }
         Self {
-            slots,
+            index,
             members: members.to_vec(),
             dense: None,
         }
@@ -161,7 +167,11 @@ impl StaticCache {
                 Some(&s) if s != NO_SLOT => Some(s),
                 _ => None,
             },
-            None => self.slots.get(&v).copied(),
+            None => self
+                .index
+                .binary_search_by_key(&v, |&(id, _)| id)
+                .ok()
+                .map(|i| self.index[i].1),
         }
     }
 
@@ -170,7 +180,7 @@ impl StaticCache {
     pub fn contains(&self, v: VertexId) -> bool {
         match &self.dense {
             Some(d) => d.get(v as usize).is_some_and(|&s| s != NO_SLOT),
-            None => self.slots.contains_key(&v),
+            None => self.index.binary_search_by_key(&v, |&(id, _)| id).is_ok(),
         }
     }
 
@@ -235,7 +245,7 @@ mod tests {
     }
 
     #[test]
-    fn dense_index_agrees_with_hashmap_on_random_rankings() {
+    fn dense_index_agrees_with_sorted_index_on_random_rankings() {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
 

@@ -247,6 +247,7 @@ impl VipModel {
     }
 
     /// End-to-end: VIP values for minibatches drawn from `train`.
+    // spp-det(core.vip_scores)
     pub fn scores(&self, graph: &CsrGraph, train: &[VertexId]) -> Vec<f64> {
         self.scores_with(WorkerPool::global(), graph, train, SweepStrategy::Auto)
     }

@@ -244,6 +244,7 @@ impl<'a> Trainer<'a> {
     /// batch's sampling and dropout RNG streams are derived from
     /// `(seed, epoch, batch)`, so loss curves are identical for every
     /// pool size.
+    // spp-det(gnn.train_epoch)
     pub fn train_epoch(&mut self, opt: &mut Adam, epoch: u64) -> EpochStats {
         let sampler = NodeWiseSampler::new(&self.ds.graph, self.cfg.fanouts.clone());
         let pool = self.pool();

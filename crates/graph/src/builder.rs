@@ -83,6 +83,7 @@ impl GraphBuilder {
 
     /// Builds the CSR graph, deduplicating edges, removing self-loops, and
     /// sorting neighbor lists.
+    // spp-det(graph.csr_build)
     pub fn build(mut self) -> CsrGraph {
         self.edges.retain(|&(s, d)| s != d);
         // Counting sort by source for O(m) bucketing, then per-row sort+dedup.

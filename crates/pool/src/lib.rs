@@ -137,10 +137,12 @@ impl WorkerPool {
     /// cached for the life of the process.
     pub fn global() -> Self {
         let workers = *GLOBAL_WORKERS.get_or_init(|| {
+            // spp-det: allow(d3-ambient-read): worker-count knob; picks wave shapes only, §9 results are pool-size invariant
             std::env::var("SPP_POOL_WORKERS")
                 .ok()
                 .and_then(|s| s.parse::<usize>().ok())
                 .filter(|&w| w > 0)
+                // spp-det: allow(d4-worker-leak): core count sizes the pool, never flows into merged values (index-ordered reduction)
                 .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |p| p.get()))
         });
         Self { workers }

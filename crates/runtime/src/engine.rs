@@ -128,6 +128,7 @@ impl<'a> DistributedTrainer<'a> {
 
     /// Runs the full training loop; returns the report and the final
     /// model (identical on all machines; machine 0's copy is returned).
+    // spp-det(runtime.engine_train)
     pub fn train(&self) -> (DistributedTrainReport, GnnModel) {
         let k = self.setup.num_machines();
         let dims = self.dims();

@@ -178,6 +178,24 @@ mod tests {
     }
 
     #[test]
+    fn dense_order_is_independent_of_table_geometry() {
+        // §9: local ids are assigned in insertion order, a pure function
+        // of the insert sequence — never of capacity, growth schedule, or
+        // probe layout. Replay the same sequence through tables of very
+        // different geometry and require identical dense node lists.
+        let seq: Vec<VertexId> = (0..600u32).map(|i| (i * 37) % 200).collect();
+        let mut tiny = VertexIndexer::with_capacity(4); // grows many times
+        let mut huge = VertexIndexer::with_capacity(4096); // never grows
+        for &v in &seq {
+            let a = tiny.insert(v);
+            let b = huge.insert(v);
+            assert_eq!(a, b, "local id of {v} diverged across geometries");
+        }
+        assert_eq!(tiny.nodes(), huge.nodes());
+        assert_eq!(tiny.len(), 200);
+    }
+
+    #[test]
     fn colliding_keys_resolve() {
         // Keys chosen to collide in a tiny table; correctness must not
         // depend on hash spread.

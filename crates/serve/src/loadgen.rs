@@ -110,6 +110,7 @@ pub struct TraceConfig {
 ///
 /// Panics if `arrival_rate` is not positive, `num_vertices` is zero,
 /// or `burstiness` is outside `[0, 1]`.
+// spp-det(serve.loadgen)
 pub fn generate_open_loop(cfg: &TraceConfig) -> Vec<InferenceRequest> {
     assert!(cfg.arrival_rate > 0.0, "arrival rate must be positive");
     assert!(

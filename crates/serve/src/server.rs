@@ -339,6 +339,7 @@ enum Tier {
 /// Per-node kernel of the batch classification pass; runs under
 /// [`WorkerPool::par_map`], so it must stay allocation- and lock-free.
 // spp-hot(serve.classify)
+// spp-det(serve.classify)
 #[inline]
 fn classify_node(
     layout: &ReorderedLayout,

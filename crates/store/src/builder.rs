@@ -70,6 +70,7 @@ impl StoreBuilder {
     /// # Panics
     ///
     /// Panics if `dim` is zero.
+    // spp-det(store.build)
     pub fn build_with(
         &self,
         dir: &Path,

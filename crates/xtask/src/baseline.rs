@@ -1,9 +1,10 @@
-//! Committed-baseline comparison for both gates.
+//! Committed-baseline comparison for the analysis gates.
 //!
-//! `results/lint_baseline.json` (from `lint --json`) and
-//! `results/hotpath_baseline.json` (from `audit-hotpaths --json`) are
-//! snapshots the repo commits; CI and local runs fail when the current
-//! analysis drifts from them in either direction:
+//! `results/lint_baseline.json` (from `lint --json`),
+//! `results/hotpath_baseline.json` (from `audit-hotpaths --json`), and
+//! `results/determinism_baseline.json` (from `audit-determinism
+//! --json`) are snapshots the repo commits; CI and local runs fail when
+//! the current analysis drifts from them in either direction:
 //!
 //! - a **new** entry means an invariant regression (or a new annotated
 //!   escape that must be reviewed and re-inventoried);
@@ -16,9 +17,9 @@
 //!
 //! Lint entries compare exactly (file, line, rule, message) — the same
 //! sensitivity as the verbatim `diff -u` CI has always run. Hot-path
-//! entries compare *without* line numbers (roots by name/fn, escapes by
-//! file/rules/reason, stops by file/fn/reason), so unrelated edits that
-//! shift lines don't churn the baseline.
+//! and determinism entries compare *without* line numbers (roots by
+//! name/fn, escapes by file/rules/reason, stops by file/fn/reason), so
+//! unrelated edits that shift lines don't churn the baseline.
 
 use crate::json::{self, Json};
 use std::collections::BTreeMap;
@@ -44,6 +45,11 @@ pub fn lint_baseline_path(root: &Path) -> PathBuf {
 /// Baseline path for the hot-path gate.
 pub fn hotpath_baseline_path(root: &Path) -> PathBuf {
     root.join("results/hotpath_baseline.json")
+}
+
+/// Baseline path for the determinism gate.
+pub fn det_baseline_path(root: &Path) -> PathBuf {
+    root.join("results/determinism_baseline.json")
 }
 
 /// Compares two entry multisets; reports stale (baseline-only) and new
@@ -139,9 +145,14 @@ pub fn check_lint_baseline(root: &Path, current_json: &str) -> Result<BaselineSt
     }
 }
 
-/// Hot-path entry keys: line-insensitive.
-fn hotpath_keys(doc: &Json) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
-    let roots = arr(doc, "hot_roots")
+/// Call-graph audit entry keys: line-insensitive. `roots_key` selects
+/// the root-inventory array (`hot_roots` / `det_roots`); the rest of
+/// the document shape is shared between the two passes.
+fn graph_audit_keys(
+    doc: &Json,
+    roots_key: &str,
+) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    let roots = arr(doc, roots_key)
         .into_iter()
         .map(|r| format!("{} = {} ({})", s(r, "name"), s(r, "fn"), s(r, "file")))
         .collect();
@@ -168,17 +179,21 @@ fn hotpath_keys(doc: &Json) -> (Vec<String>, Vec<String>, Vec<String>, Vec<Strin
     (roots, escapes, stops, findings)
 }
 
-/// Compares current `audit-hotpaths --json` output against the
-/// committed baseline under `root`.
-pub fn check_hotpath_baseline(root: &Path, current_json: &str) -> Result<BaselineStatus, String> {
-    let Some(base) = load(&hotpath_baseline_path(root))? else {
+/// Shared comparison body for the two call-graph audits.
+fn check_graph_audit_baseline(
+    baseline_path: &Path,
+    current_json: &str,
+    roots_key: &str,
+    root_label: &str,
+) -> Result<BaselineStatus, String> {
+    let Some(base) = load(baseline_path)? else {
         return Ok(BaselineStatus::Missing);
     };
     let cur = json::parse(current_json).map_err(|e| format!("current output: {e}"))?;
-    let (br, be, bs, bf) = hotpath_keys(&base);
-    let (cr, ce, cs, cf) = hotpath_keys(&cur);
+    let (br, be, bs, bf) = graph_audit_keys(&base, roots_key);
+    let (cr, ce, cs, cf) = graph_audit_keys(&cur, roots_key);
     let mut diffs = Vec::new();
-    diff_multiset("hot root", &br, &cr, &mut diffs);
+    diff_multiset(root_label, &br, &cr, &mut diffs);
     diff_multiset("escape", &be, &ce, &mut diffs);
     diff_multiset("stop", &bs, &cs, &mut diffs);
     diff_multiset("finding", &bf, &cf, &mut diffs);
@@ -187,6 +202,28 @@ pub fn check_hotpath_baseline(root: &Path, current_json: &str) -> Result<Baselin
     } else {
         Ok(BaselineStatus::Drift(diffs))
     }
+}
+
+/// Compares current `audit-hotpaths --json` output against the
+/// committed baseline under `root`.
+pub fn check_hotpath_baseline(root: &Path, current_json: &str) -> Result<BaselineStatus, String> {
+    check_graph_audit_baseline(
+        &hotpath_baseline_path(root),
+        current_json,
+        "hot_roots",
+        "hot root",
+    )
+}
+
+/// Compares current `audit-determinism --json` output against the
+/// committed baseline under `root`.
+pub fn check_det_baseline(root: &Path, current_json: &str) -> Result<BaselineStatus, String> {
+    check_graph_audit_baseline(
+        &det_baseline_path(root),
+        current_json,
+        "det_roots",
+        "det root",
+    )
 }
 
 /// Writes `contents` to `path`, creating parent directories.
@@ -246,6 +283,33 @@ mod tests {
         };
         assert!(diffs.iter().any(|d| d.contains("stale finding")));
         assert!(diffs.iter().any(|d| d.contains("new relaxed site")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn det_baseline_reads_det_roots_key() {
+        let dir = std::env::temp_dir().join("spp-baseline-test-det");
+        std::fs::create_dir_all(dir.join("results")).unwrap();
+        let base = r#"{
+  "det_roots": [{"name": "a.root", "fn": "root", "file": "a.rs", "line": 2, "reachable": 1, "max_depth": 0}],
+  "findings": [],
+  "escapes": [{"file": "p.rs", "line": 140, "rules": "d3-ambient-read", "reason": "scheduling knob"}],
+  "stops": []
+}"#;
+        std::fs::write(dir.join("results/determinism_baseline.json"), base).unwrap();
+        let moved = base.replace("\"line\": 140", "\"line\": 155");
+        assert_eq!(
+            check_det_baseline(&dir, &moved).unwrap(),
+            BaselineStatus::Clean
+        );
+        let dropped = base.replace(
+            r#"{"name": "a.root", "fn": "root", "file": "a.rs", "line": 2, "reachable": 1, "max_depth": 0}"#,
+            "",
+        );
+        let BaselineStatus::Drift(diffs) = check_det_baseline(&dir, &dropped).unwrap() else {
+            panic!("expected drift");
+        };
+        assert!(diffs.iter().any(|d| d.contains("stale det root")));
         std::fs::remove_dir_all(&dir).ok();
     }
 

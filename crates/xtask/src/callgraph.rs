@@ -14,7 +14,7 @@
 //! `Box`, ...) are external and produce no edge (the H1 token rules
 //! catch their allocations lexically).
 
-use crate::items::{FileItems, FnItem};
+use crate::items::{AuditKind, FileItems, FnItem};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Std-library qualifiers whose associated calls never target
@@ -219,23 +219,37 @@ impl CallGraph {
 
     /// Node indices of declared hot roots, ordered by root name.
     pub fn roots(&self) -> Vec<usize> {
+        self.roots_for(AuditKind::Hot)
+    }
+
+    /// Node indices of declared roots of the given annotation family,
+    /// ordered by root name.
+    pub fn roots_for(&self, kind: AuditKind) -> Vec<usize> {
         let mut r: Vec<usize> = (0..self.nodes.len())
-            .filter(|&i| self.nodes[i].item.hot_root.is_some())
+            .filter(|&i| self.nodes[i].item.root_for(kind).is_some())
             .collect();
         r.sort_by(|&a, &b| {
             self.nodes[a]
                 .item
-                .hot_root
-                .cmp(&self.nodes[b].item.hot_root)
+                .root_for(kind)
+                .cmp(&self.nodes[b].item.root_for(kind))
         });
         r
     }
 
-    /// Multi-source BFS from `roots`. Each reached node is attributed
-    /// to the first root that reaches it (breadth-first, roots in the
-    /// given order). Nodes with a `stop` annotation are recorded but
-    /// not expanded.
+    /// Hot-family traversal; see [`CallGraph::reach_for`].
     pub fn reach(&self, roots: &[usize]) -> Vec<Reached> {
+        self.reach_for(roots, AuditKind::Hot)
+    }
+
+    /// Multi-source BFS from `roots`, following the stop boundaries of
+    /// the given annotation family. Each reached node is attributed to
+    /// the first root that reaches it (breadth-first, roots in the
+    /// given order). Nodes with a `stop` annotation are recorded but
+    /// not expanded. The traversal itself is family-independent: both
+    /// passes walk the same edges, so identical root/stop placement
+    /// yields identical reachable sets (pinned by the cross-pass test).
+    pub fn reach_for(&self, roots: &[usize], kind: AuditKind) -> Vec<Reached> {
         let mut order: Vec<Reached> = Vec::new();
         let mut visited: BTreeSet<usize> = BTreeSet::new();
         let mut queue: VecDeque<Reached> = VecDeque::new();
@@ -246,8 +260,8 @@ impl CallGraph {
                     depth: 0,
                     root: self.nodes[r]
                         .item
-                        .hot_root
-                        .clone()
+                        .root_for(kind)
+                        .map(str::to_string)
                         .unwrap_or_else(|| self.nodes[r].item.qual.clone()),
                     via: None,
                 });
@@ -255,7 +269,7 @@ impl CallGraph {
         }
         while let Some(cur) = queue.pop_front() {
             let node = cur.node;
-            let stop = self.nodes[node].item.stop.is_some();
+            let stop = self.nodes[node].item.stop_for(kind).is_some();
             order.push(cur.clone());
             if stop {
                 continue;
@@ -418,6 +432,36 @@ mod tests {
             .map(|r| g.nodes[r.node].item.qual.as_str())
             .collect();
         assert!(quals.contains(&"W::helper"), "got {quals:?}");
+    }
+
+    #[test]
+    fn det_roots_and_stops_are_independent_of_hot() {
+        // One fn is a det root only; the hot pass must not see it, and
+        // the det traversal must honor det stops while ignoring hot
+        // stops.
+        let fs = files(&[(
+            "crates/a/src/lib.rs",
+            "// spp-det(a.det_root)\nfn droot() {\n    mid();\n}\nfn mid() {\n    deep();\n}\n// spp-det: stop(cold for det only)\nfn deep() {\n    deepest();\n}\nfn deepest() {}\n// spp-hot(a.hot_root)\nfn hroot() {\n    deep();\n}\n",
+        )]);
+        let g = CallGraph::build(&fs);
+        assert_eq!(g.roots_for(AuditKind::Hot).len(), 1);
+        assert_eq!(g.roots_for(AuditKind::Det).len(), 1);
+        let det = g.reach_for(&g.roots_for(AuditKind::Det), AuditKind::Det);
+        let det_names: Vec<&str> = det
+            .iter()
+            .map(|r| g.nodes[r.node].item.name.as_str())
+            .collect();
+        // det stop on `deep` is honored: recorded, not expanded.
+        assert_eq!(det_names, ["droot", "mid", "deep"]);
+        assert!(det.iter().all(|r| r.root == "a.det_root"));
+        // The hot traversal ignores the det stop and descends through
+        // `deep` into `deepest`.
+        let hot = g.reach_for(&g.roots_for(AuditKind::Hot), AuditKind::Hot);
+        let hot_names: Vec<&str> = hot
+            .iter()
+            .map(|r| g.nodes[r.node].item.name.as_str())
+            .collect();
+        assert_eq!(hot_names, ["hroot", "deep", "deepest"]);
     }
 
     #[test]

@@ -1,64 +1,40 @@
-//! Rendering and summarization for `cargo xtask audit-hotpaths`.
+//! Rendering and summarization for `cargo xtask audit-determinism`.
 //!
 //! The `--json` document is the committed baseline format
-//! (`results/hotpath_baseline.json`): hot-root inventory with
+//! (`results/determinism_baseline.json`): det-root inventory with
 //! reachable-set size and call-graph depth, the escape-site inventory,
-//! cold boundaries, findings, and the `unannotated_escapes` counter
-//! that benches trend (ISSUE 6). JSON is hand-rolled like
-//! [`crate::report`] — the offline workspace carries no serde.
+//! cold boundaries, findings, and the `unannotated_escapes` counter.
+//! Structurally the mirror of [`crate::hotreport`] with the det key
+//! names, so [`crate::baseline`] can diff both with one key extractor.
 
 use crate::callgraph::{CallGraph, Reached};
-use crate::hotrules::HotReport;
-use crate::items::{FileItems, HOT_RULE_IDS};
+use crate::detrules::DetReport;
+use crate::hotreport::{json_escape, RootSummary, StopSite};
+use crate::items::{FileItems, DET_RULE_IDS};
 use std::collections::BTreeMap;
 
-/// One hot root with its reachability summary.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct RootSummary {
-    /// Declared root name (`// spp-hot(<name>)`).
-    pub name: String,
-    /// Qualified fn name.
-    pub func: String,
-    /// Workspace-relative path.
-    pub path: String,
-    /// 1-based signature line.
-    pub line: usize,
-    /// Functions attributed to this root by the multi-source BFS
-    /// (first-reacher wins, so overlapping regions count once).
-    pub reachable: usize,
-    /// Deepest call chain attributed to this root.
-    pub max_depth: usize,
-}
-
-/// One cold boundary (`// spp-hot: stop(..)`) hit by traversal.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct StopSite {
-    pub path: String,
-    pub func: String,
-    pub reason: String,
-}
-
-/// Everything the audit produces; rendered to text or JSON.
+/// Everything the determinism audit produces; rendered to text or JSON.
 #[derive(Debug)]
-pub struct AuditOutput {
+pub struct DetOutput {
     pub roots: Vec<RootSummary>,
     pub stops: Vec<StopSite>,
     pub reachable_functions: usize,
-    pub report: HotReport,
+    pub report: DetReport,
     pub files_scanned: usize,
 }
 
-/// Summarizes the reachability pass per root. `root_nodes` is the set
-/// traversal actually started from (a subset of the declared roots when
-/// `--root` filters), so partial views report only what they audited.
+/// Summarizes the reachability pass per det root. `root_nodes` is the
+/// set traversal actually started from (a subset of the declared roots
+/// when `--root` filters), so partial views report only what they
+/// audited.
 pub fn summarize(
     files: &[FileItems],
     graph: &CallGraph,
     root_nodes: &[usize],
     reach: &[Reached],
     files_scanned: usize,
-    report: HotReport,
-) -> AuditOutput {
+    report: DetReport,
+) -> DetOutput {
     let mut per_root: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
     for r in reach {
         let e = per_root.entry(r.root.as_str()).or_insert((0, 0));
@@ -68,7 +44,7 @@ pub fn summarize(
     let mut roots = Vec::new();
     for &ri in root_nodes {
         let n = &graph.nodes[ri];
-        let name = n.item.hot_root.clone().unwrap_or_default();
+        let name = n.item.det_root.clone().unwrap_or_default();
         let (reachable, max_depth) = per_root.get(name.as_str()).copied().unwrap_or((0, 0));
         roots.push(RootSummary {
             name,
@@ -84,7 +60,7 @@ pub fn summarize(
         .iter()
         .filter_map(|r| {
             let n = &graph.nodes[r.node];
-            n.item.stop.as_ref().map(|reason| StopSite {
+            n.item.det_stop.as_ref().map(|reason| StopSite {
                 path: files[n.file].rel_path.clone(),
                 func: n.item.qual.clone(),
                 reason: reason.clone(),
@@ -93,7 +69,7 @@ pub fn summarize(
         .collect();
     stops.sort();
     stops.dedup();
-    AuditOutput {
+    DetOutput {
         roots,
         stops,
         reachable_functions: reach.len(),
@@ -102,24 +78,8 @@ pub fn summarize(
     }
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
 /// Human-readable report.
-pub fn render_text(out: &AuditOutput) -> String {
+pub fn render_text(out: &DetOutput) -> String {
     let mut s = String::new();
     for r in &out.roots {
         s.push_str(&format!(
@@ -148,7 +108,7 @@ pub fn render_text(out: &AuditOutput) -> String {
         s.push_str(&format!("stop {} ({}): {}\n", st.func, st.path, st.reason));
     }
     s.push_str(&format!(
-        "audit-hotpaths: {} root(s), {} reachable fn(s), {} finding(s), \
+        "audit-determinism: {} root(s), {} reachable fn(s), {} finding(s), \
          {} escape(s), {} stop(s) in {} file(s) scanned\n",
         out.roots.len(),
         out.reachable_functions,
@@ -161,7 +121,7 @@ pub fn render_text(out: &AuditOutput) -> String {
 }
 
 /// Stable machine-readable JSON document (the baseline format).
-pub fn render_json(out: &AuditOutput) -> String {
+pub fn render_json(out: &DetOutput) -> String {
     let root_items: Vec<String> = out
         .roots
         .iter()
@@ -178,8 +138,8 @@ pub fn render_json(out: &AuditOutput) -> String {
             )
         })
         .collect();
-    let mut counts: BTreeMap<&str, usize> = HOT_RULE_IDS.iter().map(|&r| (r, 0)).collect();
-    counts.insert("hot-annotation", 0);
+    let mut counts: BTreeMap<&str, usize> = DET_RULE_IDS.iter().map(|&r| (r, 0)).collect();
+    counts.insert("det-annotation", 0);
     for f in &out.report.findings {
         *counts.entry(f.rule.as_str()).or_insert(0) += 1;
     }
@@ -231,7 +191,7 @@ pub fn render_json(out: &AuditOutput) -> String {
         })
         .collect();
     format!(
-        "{{\n  \"hot_roots\": [\n{}\n  ],\n  \"hot_root_count\": {},\n  \
+        "{{\n  \"det_roots\": [\n{}\n  ],\n  \"det_root_count\": {},\n  \
          \"reachable_functions\": {},\n  \"findings\": [\n{}\n  ],\n  \
          \"counts\": {{\n{}\n  }},\n  \"escapes\": [\n{}\n  ],\n  \
          \"stops\": [\n{}\n  ],\n  \"unannotated_escapes\": {},\n  \
@@ -253,36 +213,36 @@ mod tests {
     use super::*;
     use crate::hotrules::{EscapeSite, HotFinding};
 
-    fn sample() -> AuditOutput {
-        AuditOutput {
+    fn sample() -> DetOutput {
+        DetOutput {
             roots: vec![RootSummary {
-                name: "core.hop_update".to_string(),
-                func: "hop_update".to_string(),
+                name: "core.vip_scores".to_string(),
+                func: "VipPolicy::scores".to_string(),
                 path: "crates/core/src/vip.rs".to_string(),
-                line: 7,
-                reachable: 3,
-                max_depth: 2,
+                line: 250,
+                reachable: 12,
+                max_depth: 4,
             }],
             stops: vec![StopSite {
-                path: "crates/pool/src/lib.rs".to_string(),
-                func: "pool_metrics".to_string(),
-                reason: "one-time registration".to_string(),
+                path: "crates/telemetry/src/span.rs".to_string(),
+                func: "register_tid".to_string(),
+                reason: "trace-only thread registry".to_string(),
             }],
-            reachable_functions: 3,
-            report: HotReport {
+            reachable_functions: 12,
+            report: DetReport {
                 findings: vec![HotFinding {
                     path: "crates/a/src/lib.rs".to_string(),
                     line: 4,
-                    rule: "h1-alloc".to_string(),
+                    rule: "d1-unordered-iter".to_string(),
                     func: "deep".to_string(),
-                    root: "core.hop_update".to_string(),
-                    message: "`.push(` allocates".to_string(),
+                    root: "core.vip_scores".to_string(),
+                    message: "`.drain(` over hash map".to_string(),
                 }],
                 escapes: vec![EscapeSite {
-                    path: "crates/b/src/lib.rs".to_string(),
-                    line: 9,
-                    rules: "h1-alloc".to_string(),
-                    reason: "amortized".to_string(),
+                    path: "crates/pool/src/lib.rs".to_string(),
+                    line: 140,
+                    rules: "d3-ambient-read".to_string(),
+                    reason: "scheduling knob only".to_string(),
                 }],
             },
             files_scanned: 5,
@@ -292,22 +252,22 @@ mod tests {
     #[test]
     fn text_has_roots_findings_and_summary() {
         let t = render_text(&sample());
-        assert!(t.contains("root core.hop_update = hop_update"));
-        assert!(t.contains("crates/a/src/lib.rs:4: [h1-alloc] in `deep` (via core.hop_update)"));
-        assert!(t.contains("escape [h1-alloc] amortized"));
-        assert!(t.contains("stop pool_metrics"));
-        assert!(t.contains("1 root(s), 3 reachable fn(s), 1 finding(s)"));
+        assert!(t.contains("root core.vip_scores = VipPolicy::scores"));
+        assert!(t.contains("crates/a/src/lib.rs:4: [d1-unordered-iter] in `deep`"));
+        assert!(t.contains("escape [d3-ambient-read] scheduling knob only"));
+        assert!(t.contains("stop register_tid"));
+        assert!(t.contains("audit-determinism: 1 root(s), 12 reachable fn(s), 1 finding(s)"));
     }
 
     #[test]
     fn json_counts_and_counters() {
         let j = render_json(&sample());
-        assert!(j.contains("\"hot_root_count\": 1"));
-        assert!(j.contains("\"reachable_functions\": 3"));
-        assert!(j.contains("\"h1-alloc\": 1"));
-        assert!(j.contains("\"h4-float-order\": 0"));
+        assert!(j.contains("\"det_root_count\": 1"));
+        assert!(j.contains("\"reachable_functions\": 12"));
+        assert!(j.contains("\"d1-unordered-iter\": 1"));
+        assert!(j.contains("\"d5-float-order\": 0"));
+        assert!(j.contains("\"det-annotation\": 0"));
         assert!(j.contains("\"unannotated_escapes\": 1"));
-        assert!(j.contains("\"files_scanned\": 5"));
         assert!(crate::json::parse(&j).is_ok());
     }
 }

@@ -107,11 +107,12 @@ const BLOCKING_TOKENS: [&str; 8] = [
     "sleep(",
 ];
 
-/// Float-accumulation signals for H4 (fn-level).
-const FLOAT_ACC_TOKENS: [&str; 4] = ["+=", ".sum(", ".sum::<", ".fold("];
+/// Float-accumulation signals for H4 (fn-level; shared with D5 in
+/// [`crate::detrules`]).
+pub(crate) const FLOAT_ACC_TOKENS: [&str; 4] = ["+=", ".sum(", ".sum::<", ".fold("];
 
 /// Per-line hits of any listed token.
-fn token_hits<'a>(t: &str, tokens: &[&'a str]) -> Vec<&'a str> {
+pub(crate) fn token_hits<'a>(t: &str, tokens: &[&'a str]) -> Vec<&'a str> {
     let mut hits = Vec::new();
     for &tok in tokens {
         if !token_positions(t, tok).is_empty() {
@@ -122,7 +123,7 @@ fn token_hits<'a>(t: &str, tokens: &[&'a str]) -> Vec<&'a str> {
 }
 
 /// Innermost fn owning `line_idx` in `file`, if any.
-fn line_owner(file: &FileItems, line_idx: usize) -> Option<usize> {
+pub(crate) fn line_owner(file: &FileItems, line_idx: usize) -> Option<usize> {
     file.fns
         .iter()
         .enumerate()

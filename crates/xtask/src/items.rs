@@ -1,4 +1,4 @@
-//! Function-item and call-site parser for the hot-path analyzer.
+//! Function-item and call-site parser for the call-graph analyzers.
 //!
 //! Works on the *cleaned* per-line view from [`crate::scan`] (comments
 //! and literal contents blanked), so brace tracking and identifier
@@ -10,18 +10,23 @@
 //! construction, where over-approximation is acceptable (DESIGN.md
 //! §13).
 //!
-//! Hot-path annotations are read from the *raw* lines (the cleaning
-//! pass blanks comments):
+//! Two annotation families share one grammar, read from the *raw*
+//! lines (the cleaning pass blanks comments): `spp-hot` for the
+//! hot-path pass (H1–H4, DESIGN.md §13) and `spp-det` for the
+//! determinism pass (D1–D5, DESIGN.md §17):
 //!
-//! - `// spp-hot(<name>)` — declares the next `fn` item (or the item
-//!   whose signature shares the line) as a hot root named `<name>`;
-//! - `// spp-hot: stop(<reason>)` — marks the next `fn` as a cold
-//!   boundary: traversal records it but does not check its body or
-//!   descend into its callees;
+//! - `// spp-hot(<name>)` / `// spp-det(<name>)` — declares the next
+//!   `fn` item (or the item whose signature shares the line) as a root
+//!   named `<name>`;
+//! - `// spp-hot: stop(<reason>)` / `// spp-det: stop(<reason>)` —
+//!   marks the next `fn` as a cold boundary: traversal records it but
+//!   does not check its body or descend into its callees;
 //! - `// spp-hot: alloc(<reason>)` — escape shorthand for `h1-alloc`
-//!   on this line (trailing) or the next line (standalone comment);
-//! - `// spp-hot: allow(<rule>[, <rule>]): <reason>` — general escape
-//!   for the listed H-rules, same line placement rules.
+//!   on this line (trailing) or the next line (standalone comment;
+//!   hot family only);
+//! - `// spp-hot: allow(<rule>[, <rule>]): <reason>` /
+//!   `// spp-det: allow(<rule>[, <rule>]): <reason>` — general escape
+//!   for the listed rules, same line placement rules.
 
 use crate::scan::SourceFile;
 use std::collections::BTreeSet;
@@ -29,6 +34,24 @@ use std::collections::BTreeSet;
 /// All hot-path rule ids, for annotation validation and `--json`
 /// counts.
 pub const HOT_RULE_IDS: [&str; 4] = ["h1-alloc", "h2-panic", "h3-lock", "h4-float-order"];
+
+/// All determinism rule ids (DESIGN.md §17), for annotation validation
+/// and `--json` counts.
+pub const DET_RULE_IDS: [&str; 5] = [
+    "d1-unordered-iter",
+    "d2-unseeded-rng",
+    "d3-ambient-read",
+    "d4-worker-leak",
+    "d5-float-order",
+];
+
+/// Which annotation family a traversal follows: the hot-path pass
+/// (`spp-hot` roots/stops) or the determinism pass (`spp-det`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditKind {
+    Hot,
+    Det,
+}
 
 /// One call site inside a function body.
 #[derive(Debug, Clone)]
@@ -65,17 +88,40 @@ pub struct FnItem {
     pub hot_root: Option<String>,
     /// Cold-boundary reason from `// spp-hot: stop(<reason>)`.
     pub stop: Option<String>,
+    /// Determinism-root name from `// spp-det(<name>)`.
+    pub det_root: Option<String>,
+    /// Cold-boundary reason from `// spp-det: stop(<reason>)`.
+    pub det_stop: Option<String>,
     /// Call sites extracted from the body (innermost-item attribution:
     /// lines of a nested `fn` belong to the nested item only).
     pub calls: Vec<CallSite>,
 }
 
-/// One `// spp-hot: alloc(..)` / `allow(..): ..` escape annotation.
+impl FnItem {
+    /// The root name this item declares for `kind`, if any.
+    pub fn root_for(&self, kind: AuditKind) -> Option<&str> {
+        match kind {
+            AuditKind::Hot => self.hot_root.as_deref(),
+            AuditKind::Det => self.det_root.as_deref(),
+        }
+    }
+
+    /// The cold-boundary reason this item declares for `kind`, if any.
+    pub fn stop_for(&self, kind: AuditKind) -> Option<&str> {
+        match kind {
+            AuditKind::Hot => self.stop.as_deref(),
+            AuditKind::Det => self.det_stop.as_deref(),
+        }
+    }
+}
+
+/// One `// spp-hot: alloc(..)` / `allow(..): ..` (or the `spp-det`
+/// equivalent) escape annotation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct HotEscape {
     /// 1-based line the escape applies to.
     pub line: usize,
-    /// H-rule ids this escape covers.
+    /// Rule ids this escape covers.
     pub rules: BTreeSet<String>,
     /// Mandatory justification.
     pub reason: String,
@@ -88,10 +134,32 @@ pub struct FileItems {
     pub rel_path: String,
     /// Items in source order.
     pub fns: Vec<FnItem>,
-    /// Escape annotations keyed by target line.
+    /// `spp-hot` escape annotations keyed by target line.
     pub escapes: Vec<HotEscape>,
     /// Malformed `spp-hot` annotations: (1-based line, message).
     pub bad: Vec<(usize, String)>,
+    /// `spp-det` escape annotations keyed by target line.
+    pub det_escapes: Vec<HotEscape>,
+    /// Malformed `spp-det` annotations: (1-based line, message).
+    pub det_bad: Vec<(usize, String)>,
+}
+
+impl FileItems {
+    /// The escape annotations of the given family.
+    pub fn escapes_for(&self, kind: AuditKind) -> &[HotEscape] {
+        match kind {
+            AuditKind::Hot => &self.escapes,
+            AuditKind::Det => &self.det_escapes,
+        }
+    }
+
+    /// The malformed-annotation findings of the given family.
+    pub fn bad_for(&self, kind: AuditKind) -> &[(usize, String)] {
+        match kind {
+            AuditKind::Hot => &self.bad,
+            AuditKind::Det => &self.det_bad,
+        }
+    }
 }
 
 /// Keywords and binding forms that look like calls lexically
@@ -188,13 +256,38 @@ enum Ctx {
     Other,
 }
 
-/// Parses `spp-hot` annotations from the raw lines.
+/// Parameters distinguishing the `spp-hot` and `spp-det` annotation
+/// families; the grammar is otherwise identical.
+struct MarkerSpec {
+    /// Comment marker, e.g. `spp-hot`.
+    marker: &'static str,
+    /// Rule ids `allow(..)` lists may reference.
+    rule_ids: &'static [&'static str],
+    /// Whether the `alloc(<reason>)` shorthand (== `allow(h1-alloc)`)
+    /// is part of this family's grammar.
+    alloc_shorthand: bool,
+}
+
+const HOT_SPEC: MarkerSpec = MarkerSpec {
+    marker: "spp-hot",
+    rule_ids: &HOT_RULE_IDS,
+    alloc_shorthand: true,
+};
+
+const DET_SPEC: MarkerSpec = MarkerSpec {
+    marker: "spp-det",
+    rule_ids: &DET_RULE_IDS,
+    alloc_shorthand: false,
+};
+
+/// Parses one annotation family from the raw lines.
 ///
 /// Returns `(roots, stops, escapes, bad)` where roots/stops are
 /// `(0-based line, payload)` pairs attached to items later.
 #[allow(clippy::type_complexity)]
-fn parse_hot_annotations(
+fn parse_marker_annotations(
     raw_lines: &[&str],
+    spec: &MarkerSpec,
 ) -> (
     Vec<(usize, String)>,
     Vec<(usize, String)>,
@@ -205,23 +298,29 @@ fn parse_hot_annotations(
     let mut stops = Vec::new();
     let mut escapes = Vec::new();
     let mut bad = Vec::new();
+    let m = spec.marker;
     for (idx, raw) in raw_lines.iter().enumerate() {
-        let Some(pos) = raw.find("spp-hot") else {
+        let Some(pos) = raw.find(m) else {
             continue;
         };
-        let after = &raw[pos + 7..];
+        let after = &raw[pos + m.len()..];
         let malformed = |msg: &str| {
+            let alloc_form = if spec.alloc_shorthand {
+                format!("`{m}: alloc(<reason>)`, or ")
+            } else {
+                String::new()
+            };
             (
                 idx + 1,
                 format!(
-                    "malformed spp-hot annotation: {msg}; expected `spp-hot(<name>)`, \
-                     `spp-hot: stop(<reason>)`, `spp-hot: alloc(<reason>)`, or \
-                     `spp-hot: allow(<rule>[, <rule>]): <reason>`"
+                    "malformed {m} annotation: {msg}; expected `{m}(<name>)`, \
+                     `{m}: stop(<reason>)`, {alloc_form}\
+                     `{m}: allow(<rule>[, <rule>]): <reason>`"
                 ),
             )
         };
         if let Some(body) = after.strip_prefix('(') {
-            // spp-hot(<name>): root declaration.
+            // <marker>(<name>): root declaration.
             let Some(close) = body.find(')') else {
                 bad.push(malformed("unclosed root name"));
                 continue;
@@ -239,7 +338,7 @@ fn parse_hot_annotations(
             continue;
         }
         let Some(rest) = after.strip_prefix(':') else {
-            bad.push(malformed("missing `(` or `:` after spp-hot"));
+            bad.push(malformed(&format!("missing `(` or `:` after {m}")));
             continue;
         };
         let rest = rest.trim_start();
@@ -263,22 +362,24 @@ fn parse_hot_annotations(
         } else {
             idx + 1
         };
-        if let Some(body) = rest.strip_prefix("alloc(") {
-            let Some(close) = body.rfind(')') else {
-                bad.push(malformed("unclosed alloc reason"));
-                continue;
-            };
-            let reason = body[..close].trim();
-            if reason.is_empty() {
-                bad.push(malformed("alloc requires a reason"));
+        if spec.alloc_shorthand {
+            if let Some(body) = rest.strip_prefix("alloc(") {
+                let Some(close) = body.rfind(')') else {
+                    bad.push(malformed("unclosed alloc reason"));
+                    continue;
+                };
+                let reason = body[..close].trim();
+                if reason.is_empty() {
+                    bad.push(malformed("alloc requires a reason"));
+                    continue;
+                }
+                escapes.push(HotEscape {
+                    line: target,
+                    rules: ["h1-alloc".to_string()].into_iter().collect(),
+                    reason: reason.to_string(),
+                });
                 continue;
             }
-            escapes.push(HotEscape {
-                line: target,
-                rules: ["h1-alloc".to_string()].into_iter().collect(),
-                reason: reason.to_string(),
-            });
-            continue;
         }
         if let Some(body) = rest.strip_prefix("allow(") {
             let Some(close) = body.find(')') else {
@@ -292,13 +393,14 @@ fn parse_hot_annotations(
                 if r.is_empty() {
                     continue;
                 }
-                if !HOT_RULE_IDS.contains(&r.as_str()) {
+                if !spec.rule_ids.contains(&r.as_str()) {
                     unknown = Some(r.clone());
                 }
                 rules.insert(r);
             }
             if let Some(u) = unknown {
-                bad.push(malformed(&format!("unknown hot rule `{u}`")));
+                let label = m.strip_prefix("spp-").unwrap_or(m);
+                bad.push(malformed(&format!("unknown {label} rule `{u}`")));
                 continue;
             }
             let tail = body[close + 1..].trim();
@@ -314,7 +416,7 @@ fn parse_hot_annotations(
             });
             continue;
         }
-        bad.push(malformed("unknown spp-hot form"));
+        bad.push(malformed(&format!("unknown {m} form")));
     }
     (roots, stops, escapes, bad)
 }
@@ -360,11 +462,14 @@ fn calls_on_line(cleaned: &str, lineno: usize, out: &mut Vec<CallSite>) {
     }
 }
 
-/// Parses function items, call sites, and hot annotations from a
-/// scanned file. `src` is the raw source (for comment annotations).
+/// Parses function items, call sites, and both annotation families
+/// from a scanned file. `src` is the raw source (for comment
+/// annotations).
 pub fn parse_items(file: &SourceFile, src: &str) -> FileItems {
     let raw_lines: Vec<&str> = src.split('\n').collect();
-    let (root_marks, stop_marks, escapes, bad) = parse_hot_annotations(&raw_lines);
+    let (root_marks, stop_marks, escapes, bad) = parse_marker_annotations(&raw_lines, &HOT_SPEC);
+    let (det_root_marks, det_stop_marks, det_escapes, det_bad) =
+        parse_marker_annotations(&raw_lines, &DET_SPEC);
 
     let mut fns: Vec<FnItem> = Vec::new();
     let mut stack: Vec<Ctx> = Vec::new();
@@ -400,6 +505,8 @@ pub fn parse_items(file: &SourceFile, src: &str) -> FileItems {
                             has_self,
                             hot_root: None,
                             stop: None,
+                            det_root: None,
+                            det_stop: None,
                             calls: Vec::new(),
                         });
                         Ctx::Fn(fns.len() - 1)
@@ -459,6 +566,25 @@ pub fn parse_items(file: &SourceFile, src: &str) -> FileItems {
             )),
         }
     }
+    let mut det_bad = det_bad;
+    for (mark_line, name) in det_root_marks {
+        match fns.iter_mut().find(|f| f.start >= mark_line) {
+            Some(f) => f.det_root = Some(name),
+            None => det_bad.push((
+                mark_line + 1,
+                format!("spp-det({name}) does not precede any fn item"),
+            )),
+        }
+    }
+    for (mark_line, reason) in det_stop_marks {
+        match fns.iter_mut().find(|f| f.start >= mark_line) {
+            Some(f) => f.det_stop = Some(reason),
+            None => det_bad.push((
+                mark_line + 1,
+                "spp-det: stop(..) does not precede any fn item".to_string(),
+            )),
+        }
+    }
 
     // Call-site extraction with innermost-item attribution: for each
     // line, the owning item is the one with the largest start <= line.
@@ -488,6 +614,8 @@ pub fn parse_items(file: &SourceFile, src: &str) -> FileItems {
         fns,
         escapes,
         bad,
+        det_escapes,
+        det_bad,
     }
 }
 
@@ -593,6 +721,42 @@ mod tests {
         let src = "// spp-hot: allow(h9-bogus): nope\nfn f() {}\n// spp-hot: alloc()\nfn g() {}\n";
         let f = parse(src);
         assert_eq!(f.bad.len(), 2);
+        assert!(f.bad[0].1.contains("unknown hot rule"));
+        assert!(f.det_bad.is_empty());
+    }
+
+    #[test]
+    fn det_root_stop_and_escapes_parse_independently_of_hot() {
+        let src = "// spp-det(core.vip_scores)\nfn scores() {}\n\n// spp-det: stop(report assembly)\nfn render() {}\n\nfn f() {\n    seed_env(); // spp-det: allow(d3-ambient-read): scheduling knob only\n}\n";
+        let f = parse(src);
+        assert_eq!(f.fns[0].det_root.as_deref(), Some("core.vip_scores"));
+        assert!(f.fns[0].hot_root.is_none());
+        assert_eq!(f.fns[1].det_stop.as_deref(), Some("report assembly"));
+        assert!(f.fns[1].stop.is_none());
+        assert_eq!(f.det_escapes.len(), 1);
+        assert_eq!(f.det_escapes[0].line, 8);
+        assert!(f.det_escapes[0].rules.contains("d3-ambient-read"));
+        assert!(f.escapes.is_empty());
+        assert!(f.det_bad.is_empty() && f.bad.is_empty());
+    }
+
+    #[test]
+    fn det_family_rejects_alloc_shorthand_and_hot_rules() {
+        let src = "// spp-det: alloc(nope)\nfn f() {}\n// spp-det: allow(h1-alloc): wrong family\nfn g() {}\n";
+        let f = parse(src);
+        assert_eq!(f.det_bad.len(), 2);
+        assert!(f.det_bad[1].1.contains("unknown det rule"));
+        assert!(f.bad.is_empty());
+    }
+
+    #[test]
+    fn dual_hot_and_det_annotations_attach_to_one_fn() {
+        let src = "// spp-hot(serve.classify)\n// spp-det(serve.classify)\nfn classify() {}\n";
+        let f = parse(src);
+        assert_eq!(f.fns[0].hot_root.as_deref(), Some("serve.classify"));
+        assert_eq!(f.fns[0].det_root.as_deref(), Some("serve.classify"));
+        assert_eq!(f.fns[0].root_for(AuditKind::Hot), Some("serve.classify"));
+        assert_eq!(f.fns[0].root_for(AuditKind::Det), Some("serve.classify"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Static-analysis library behind `cargo xtask`.
 //!
-//! Two analyses share the lexical source model in [`scan`]:
+//! Three analyses share the lexical source model in [`scan`]:
 //!
 //! - the line-level invariant linter (rules L1–L8, [`rules`] /
 //!   [`report`]), run by `cargo xtask lint`;
@@ -10,9 +10,16 @@
 //!   sites out of the cleaned source, builds an intra-workspace call
 //!   graph, and checks every function reachable from a declared
 //!   `// spp-hot(<name>)` root for allocation, panic, blocking, and
-//!   float-ordering hazards (DESIGN.md §13).
+//!   float-ordering hazards (DESIGN.md §13);
+//! - the transitive determinism analyzer (rules D1–D5, [`detrules`] /
+//!   [`detreport`]), run by `cargo xtask audit-determinism`. It walks
+//!   the same call graph from `// spp-det(<name>)` roots and checks
+//!   every reachable function for the source constructs that break the
+//!   §9 bit-identity contract: unordered hash iteration, unseeded RNG,
+//!   ambient reads, worker-identity leaks, and order-sensitive float
+//!   reductions (DESIGN.md §17).
 //!
-//! Both gates diff their committed baseline under `results/` via
+//! All three gates diff their committed baseline under `results/` via
 //! [`baseline`]; `--refresh-baseline` rewrites the snapshot.
 
 // Test modules assert by panicking; the workspace panic-family denies
@@ -30,6 +37,8 @@
 pub mod baseline;
 pub mod benchdiff;
 pub mod callgraph;
+pub mod detreport;
+pub mod detrules;
 pub mod hotreport;
 pub mod hotrules;
 pub mod items;

@@ -3,6 +3,7 @@
 //! ```text
 //! cargo xtask lint [--json] [--root <dir>] [--refresh-baseline]
 //! cargo xtask audit-hotpaths [--json] [--root <name>] [--dir <dir>] [--refresh-baseline]
+//! cargo xtask audit-determinism [--json] [--root <name>] [--dir <dir>] [--refresh-baseline]
 //! cargo xtask check-interleavings [--module <m>]... [--json] [--max-schedules <n>]
 //! cargo xtask validate-trace <file> [--stages]
 //! ```
@@ -23,11 +24,21 @@
 //! partial views); `--dir <dir>` overrides the workspace root (fixture
 //! trees in tests).
 //!
-//! Scope for both: `src/**` of every `crates/*` member and `shims/*`
-//! shim plus the facade crate's `src/`, excluding binary targets
-//! (`**/bin/**`) and this xtask itself. Tests, benches, and examples
-//! are exempt by construction — the invariants gate *library* hot
-//! paths.
+//! `audit-determinism` runs the transitive determinism analyzer (rules
+//! D1–D5, DESIGN.md §17) over the same call graph from
+//! `// spp-det(<name>)` roots: every reachable function is checked for
+//! the source constructs that break the §9 bit-identity contract —
+//! unordered hash iteration, unseeded RNG, ambient reads, worker-count
+//! or thread-identity leaks, and order-sensitive float reductions.
+//! Exits nonzero on findings or on drift against
+//! `results/determinism_baseline.json`; `--root` / `--dir` /
+//! `--refresh-baseline` behave as for `audit-hotpaths`.
+//!
+//! Scope for all three: `src/**` of every `crates/*` member and
+//! `shims/*` shim plus the facade crate's `src/`, excluding binary
+//! targets (`**/bin/**`) and this xtask itself. Tests, benches, and
+//! examples are exempt by construction — the invariants gate *library*
+//! hot paths.
 //!
 //! `check-interleavings` rebuilds `spp-check` with
 //! `--cfg spp_model_check` (in its own target dir,
@@ -43,9 +54,11 @@
 
 use spp_xtask::baseline::{self, BaselineStatus};
 use spp_xtask::callgraph::CallGraph;
-use spp_xtask::items::FileItems;
+use spp_xtask::items::{AuditKind, FileItems};
 use spp_xtask::scan::SourceFile;
-use spp_xtask::{benchdiff, hotreport, hotrules, items, json, report, rules, scan, walk};
+use spp_xtask::{
+    benchdiff, detreport, detrules, hotreport, hotrules, items, json, report, rules, scan, walk,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -60,6 +73,10 @@ fn usage() -> ExitCode {
                                                run the transitive hot-path analyzer\n\
                                                (H1-H4) from declared spp-hot roots and\n\
                                                diff results/hotpath_baseline.json\n\
+           audit-determinism [--json] [--root <name>] [--dir <dir>] [--refresh-baseline]\n\
+                                               run the transitive determinism analyzer\n\
+                                               (D1-D5) from declared spp-det roots and\n\
+                                               diff results/determinism_baseline.json\n\
            check-interleavings [args..]        build spp-check with --cfg spp_model_check\n\
                                                and explore the concurrency harnesses\n\
                                                (args pass through: --module <m>, --json,\n\
@@ -232,6 +249,81 @@ fn run_audit_hotpaths(
             ),
             Err(e) => {
                 eprintln!("audit-hotpaths: baseline check: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+    if clean && !drift {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn run_audit_determinism(
+    json_out: bool,
+    root_filter: Option<String>,
+    dir: Option<PathBuf>,
+    refresh: bool,
+) -> ExitCode {
+    let Some(root) = walk::workspace_root(dir) else {
+        eprintln!("audit-determinism: cannot determine workspace root");
+        return ExitCode::from(2);
+    };
+    let (scanned, parsed) = match parse_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("audit-determinism: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let graph = CallGraph::build(&parsed);
+    let mut roots = graph.roots_for(AuditKind::Det);
+    if let Some(name) = &root_filter {
+        roots.retain(|&i| graph.nodes[i].item.det_root.as_deref() == Some(name.as_str()));
+        if roots.is_empty() {
+            eprintln!("audit-determinism: no det root named `{name}`; declared roots:");
+            for i in graph.roots_for(AuditKind::Det) {
+                if let Some(n) = &graph.nodes[i].item.det_root {
+                    eprintln!("  {n}");
+                }
+            }
+            return ExitCode::from(2);
+        }
+    }
+    let reach = graph.reach_for(&roots, AuditKind::Det);
+    let rep = detrules::check_reachable(&parsed, &scanned, &graph, &reach);
+    let out = detreport::summarize(&parsed, &graph, &roots, &reach, scanned.len(), rep);
+    let rendered_json = detreport::render_json(&out);
+    if json_out {
+        print!("{rendered_json}");
+    } else {
+        print!("{}", detreport::render_text(&out));
+    }
+    let clean = out.report.findings.is_empty();
+    // Partial traversals (--root) see a subset of escapes/roots, so the
+    // full-workspace baseline does not apply.
+    let drift = if root_filter.is_some() {
+        false
+    } else if refresh {
+        if let Err(e) = baseline::refresh(&baseline::det_baseline_path(&root), &rendered_json) {
+            eprintln!("audit-determinism: refreshing baseline: {e}");
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "audit-determinism: baseline refreshed at {}",
+            baseline::det_baseline_path(&root).display()
+        );
+        false
+    } else {
+        match baseline::check_det_baseline(&root, &rendered_json) {
+            Ok(status) => report_drift(
+                "audit-determinism",
+                status,
+                "audit-determinism --refresh-baseline",
+            ),
+            Err(e) => {
+                eprintln!("audit-determinism: baseline check: {e}");
                 return ExitCode::from(2);
             }
         }
@@ -725,6 +817,29 @@ fn main() -> ExitCode {
                 }
             }
             run_audit_hotpaths(json, root_filter, dir, refresh)
+        }
+        "audit-determinism" => {
+            let mut json = false;
+            let mut root_filter = None;
+            let mut dir = None;
+            let mut refresh = false;
+            let mut it = args.iter().skip(1);
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json = true,
+                    "--refresh-baseline" => refresh = true,
+                    "--root" => match it.next() {
+                        Some(r) => root_filter = Some(r.clone()),
+                        None => return usage(),
+                    },
+                    "--dir" => match it.next() {
+                        Some(d) => dir = Some(PathBuf::from(d)),
+                        None => return usage(),
+                    },
+                    _ => return usage(),
+                }
+            }
+            run_audit_determinism(json, root_filter, dir, refresh)
         }
         "check-interleavings" => run_check_interleavings(&args[1..]),
         "validate-trace" => {

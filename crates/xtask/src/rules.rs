@@ -29,7 +29,8 @@
 //! |                 | (DESIGN.md §12)                                                |
 //! | `l8-relaxed-note`| every `*_relaxed(` call site carries a same-line              |
 //! |                 | `// spp-sync: relaxed(<reason>)` annotation justifying why     |
-//! |                 | the weakest ordering is sound there                            |
+//! |                 | the weakest ordering is sound there; a note left on a code     |
+//! |                 | line with no remaining `*_relaxed(` call is flagged as stale   |
 //!
 //! Suppress a finding with
 //! `// spp-lint: allow(<rule>): <justification>` (trailing or on the
@@ -594,7 +595,9 @@ fn relaxed_call_positions(t: &str) -> Vec<usize> {
 }
 
 /// L8: every `*_relaxed(` call site carries a same-line
-/// `// spp-sync: relaxed(<reason>)` annotation with a non-empty reason.
+/// `// spp-sync: relaxed(<reason>)` annotation with a non-empty reason —
+/// and, in the other direction, every such annotation still justifies a
+/// live relaxed call (a note orphaned by an edit is flagged as stale).
 ///
 /// Relaxed is the one ordering whose correctness argument lives entirely
 /// outside the type system; the annotation forces that argument to be
@@ -604,10 +607,25 @@ fn check_l8(file: &SourceFile, findings: &mut Vec<Finding>) {
         if line.in_test || line.allows.contains("l8-relaxed-note") {
             continue;
         }
+        let annotated = line.relaxed_note.as_ref().is_some_and(|r| !r.is_empty());
         if relaxed_call_positions(&line.cleaned).is_empty() {
+            // Stale note: the call the annotation justified was removed or
+            // renamed but the comment survived the edit. Only code lines
+            // count — a pure-comment line mentioning the grammar (docs,
+            // commented-out code) is not an annotation site.
+            if annotated && !line.cleaned.trim().is_empty() {
+                findings.push(Finding {
+                    path: file.rel_path.clone(),
+                    line: idx + 1,
+                    rule: "l8-relaxed-note".to_string(),
+                    message: "stale `// spp-sync: relaxed(..)` annotation: no \
+                              `*_relaxed(` call remains on this line; remove \
+                              the note or restore the call it justified"
+                        .to_string(),
+                });
+            }
             continue;
         }
-        let annotated = line.relaxed_note.as_ref().is_some_and(|r| !r.is_empty());
         if !annotated {
             findings.push(Finding {
                 path: file.rel_path.clone(),
@@ -890,6 +908,27 @@ mod tests {
     fn l8_accepts_annotated_call_and_skips_definitions() {
         let src = "fn f(x: &AtomicU64) {\n  x.load_relaxed(); // spp-sync: relaxed(monotonic tally)\n}\npub fn load_relaxed(&self) -> u64 { 0 }";
         assert!(lint("crates/serve/src/overlay.rs", src).is_empty());
+    }
+
+    #[test]
+    fn l8_flags_stale_note_on_code_line_without_relaxed_call() {
+        // The call was rewritten to an acquire load but the relaxed note
+        // survived the edit — the justification no longer matches the code.
+        let src =
+            "fn f(x: &AtomicU64) {\n  x.load_acquire(); // spp-sync: relaxed(monotonic tally)\n}";
+        let f = lint("crates/serve/src/overlay.rs", src);
+        assert_eq!(rules_of(&f), vec!["l8-relaxed-note"], "{f:?}");
+        assert_eq!(f[0].line, 2);
+        assert!(f[0].message.contains("stale"), "{}", f[0].message);
+    }
+
+    #[test]
+    fn l8_stale_check_skips_pure_comment_lines_and_tests() {
+        // Doc prose mentioning the grammar is not an annotation site.
+        let doc = "// carries a `// spp-sync: relaxed(reason)` note\nfn f() {}";
+        assert!(lint("crates/serve/src/overlay.rs", doc).is_empty());
+        let test = "#[cfg(test)]\nmod tests {\n  fn t(x: &AtomicU64) {\n    x.load_acquire(); // spp-sync: relaxed(stale but in test)\n  }\n}";
+        assert!(lint("crates/serve/src/overlay.rs", test).is_empty());
     }
 
     #[test]

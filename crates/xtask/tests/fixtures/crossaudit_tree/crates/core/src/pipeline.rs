@@ -1,0 +1,45 @@
+//! Cross-pass consistency fixture: one entry point annotated as both a
+//! hot root and a det root, with the same cold boundary declared to both
+//! families. `audit-hotpaths` and `audit-determinism` walk the same call
+//! graph, so from the same root they must resolve identical reachable
+//! sets — the property `determinism_audit.rs` pins at the library and
+//! CLI levels.
+
+/// Entry point declared to both audit families.
+// spp-hot(fixture.serve)
+// spp-det(fixture.serve)
+pub fn serve(xs: &[f32], out: &mut [f32]) -> f32 {
+    stage(xs, out);
+    finish(out)
+}
+
+/// Pure elementwise transform: no hazards under either family.
+fn stage(xs: &[f32], out: &mut [f32]) {
+    for (o, &x) in out.iter_mut().zip(xs) {
+        *o = x * 2.0;
+    }
+}
+
+/// Index-ordered reduction: clean under H4 and D5 alike.
+fn finish(staged: &[f32]) -> f32 {
+    let mut total = 0.0f32;
+    for &x in staged {
+        total += x;
+    }
+    log_result(total);
+    total
+}
+
+/// Cold under both families, via both markers: each traversal records
+/// the boundary without expanding past it.
+// spp-hot: stop(report assembly; off the batch path)
+// spp-det: stop(report assembly; log text is outside §9 scope)
+fn log_result(total: f32) {
+    let _ = format!("total={total}");
+}
+
+/// Reached by neither family: a dangling leaf both audits must agree
+/// to exclude.
+pub fn orphan(n: usize) -> usize {
+    n + 1
+}

@@ -1,0 +1,68 @@
+//! Seeded-violation fixture: every nondeterminism hazard sits one or
+//! two calls below a declared det root, so only the transitive effect
+//! inference can attribute it.
+
+use std::collections::HashMap;
+
+/// Root whose hazards are all in transitive callees.
+// spp-det(fixture.ingest)
+pub fn ingest(xs: &[f32]) -> Vec<f32> {
+    stage_batch(xs)
+}
+
+/// Builds the table (legal: construction and keyed insertion never leak
+/// storage order), reads the ambient knob, and hands the table to the
+/// drain two calls below the root. Also carries the seeded stale escape
+/// on a line with no hash iteration at all.
+fn stage_batch(xs: &[f32]) -> Vec<f32> {
+    let mut table: HashMap<u32, f32> = HashMap::new();
+    for (i, &x) in xs.iter().enumerate() {
+        table.insert(i as u32, x);
+    }
+    let gain = knob();
+    let n = xs.len(); // spp-det: allow(d1-unordered-iter): seeded stale annotation
+    let _ = (gain, n);
+    merge(table)
+}
+
+/// Ambient env read on the result path: the seeded D3.
+fn knob() -> f32 {
+    std::env::var("FIXTURE_GAIN").map_or(1.0, |s| s.parse().unwrap_or(1.0))
+}
+
+/// A second root so `--root` filtering has something to exclude.
+// spp-det(fixture.flush)
+pub fn flush(xs: &[f32]) -> f32 {
+    spread(xs) + jitter() + width() as f32
+}
+
+/// Hash-ordered float accumulation: `+=` follows storage order, the
+/// seeded D5 (not D1 — the fn accumulates floats).
+fn spread(xs: &[f32]) -> f32 {
+    let mut hist: HashMap<u32, f32> = HashMap::new();
+    for &x in xs {
+        *hist.entry(x as u32).or_insert(0.0) += x;
+    }
+    let mut total = 0.0f32;
+    for v in hist.values() {
+        total += v;
+    }
+    total
+}
+
+/// Unseeded draw: the seeded D2.
+fn jitter() -> f32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+/// Worker count flowing into a returned value: the seeded D4.
+fn width() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// Never reached from a det root: hazards here must stay invisible.
+pub fn cold_resample() -> f32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,16 @@
+//! Cross-crate leaf for the seeded-violation tree: `merge` is reached
+//! from `fixture.ingest` in crates/core via a bare-name call, proving
+//! the det traversal follows workspace-wide edges.
+
+use std::collections::HashMap;
+
+/// Drains the table in storage order: the seeded D1, two calls below
+/// the root. No float accumulation, so the finding stays D1 rather
+/// than escalating to D5.
+pub fn merge(mut table: HashMap<u32, f32>) -> Vec<f32> {
+    let mut out = Vec::new();
+    for (_, v) in table.drain() {
+        out.push(v);
+    }
+    out
+}

@@ -1,0 +1,52 @@
+//! Clean determinism fixture: one declared det root whose reachable set
+//! either avoids the nondeterminism tokens, uses hash tables only for
+//! construction and keyed lookup, or carries justified escapes — plus a
+//! trace-emission boundary the traversal must record without expanding.
+
+use std::collections::HashMap;
+
+/// The fixture's declared det root.
+// spp-det(fixture.step)
+pub fn step(keys: &[u32], vals: &[f32]) -> Vec<f32> {
+    let stamp = std::time::SystemTime::now(); // spp-det: allow(d3-ambient-read): build stamp recorded beside results, never inside them
+    let index = index_of(keys);
+    let out = gather(keys, vals, &index);
+    render(&out, stamp);
+    out
+}
+
+/// Hash construction plus keyed insertion: legal under D1, which flags
+/// only iteration over the table.
+fn index_of(keys: &[u32]) -> HashMap<u32, u32> {
+    let mut index = HashMap::new();
+    for (i, &k) in keys.iter().enumerate() {
+        index.insert(k, i as u32);
+    }
+    index
+}
+
+/// Output order follows the input slice, never table storage order.
+fn gather(keys: &[u32], vals: &[f32], index: &HashMap<u32, u32>) -> Vec<f32> {
+    keys.iter()
+        .map(|k| index.get(k).map_or(0.0, |&i| vals[i as usize]))
+        .collect()
+}
+
+/// Trace emission, declared out of §9 scope: the traversal records the
+/// boundary and never checks the wall-clock read inside.
+// spp-det: stop(trace emission; timestamps label log lines, not results)
+fn render(out: &[f32], stamp: std::time::SystemTime) {
+    let elapsed = stamp.elapsed().map_or(0, |d| d.as_micros());
+    let _ = format!("wrote {} values in {elapsed}us", out.len());
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may draw unseeded randomness freely without tripping
+    // the audit: reachability never enters `#[cfg(test)]` items.
+    #[test]
+    fn test_fns_are_exempt() {
+        let coin = std::time::Instant::now().elapsed().as_nanos() % 2;
+        assert!(coin < 2);
+    }
+}

@@ -16,3 +16,7 @@ pub fn raw_atomic_outside_spp_sync(c: &std::sync::atomic::AtomicU64) -> u64 {
 pub fn unannotated_relaxed_site(c: &spp_sync::AtomicU64) -> u64 {
     c.load_relaxed()
 }
+
+pub fn stale_relaxed_note(c: &spp_sync::AtomicU64) -> u64 {
+    c.load_acquire() // spp-sync: relaxed(the call this justified was rewritten)
+}
